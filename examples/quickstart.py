@@ -1,0 +1,95 @@
+"""Quickstart: exactly-once stateful serverless functions with Beldi.
+
+Registers two SSFs (a payment ledger and a checkout driver), runs a
+workflow, then injects a crash mid-checkout and shows that:
+
+- without Beldi (the baseline), the crash leaves half-applied state;
+- with Beldi, the intent collector re-executes the instance and the
+  ledger ends up exactly as if the crash never happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BaselineRuntime, BeldiConfig, BeldiRuntime
+from repro.platform import FunctionCrashed
+from repro.platform.crashes import CrashOnce
+
+
+def register_shop(runtime):
+    """The same application code runs on Beldi and on the baseline."""
+
+    def ledger(ctx, payload):
+        balance = ctx.read("books", payload["account"]) or 0
+        balance += payload["amount"]
+        ctx.write("books", payload["account"], balance)
+        return balance
+
+    ledger_ssf = runtime.register_ssf("ledger", ledger, tables=["books"])
+
+    def checkout(ctx, payload):
+        # Charge the customer, then credit the merchant: two stateful
+        # steps that must both happen exactly once.
+        ctx.sync_invoke("ledger", {"account": "customer",
+                                   "amount": -payload["price"]})
+        ctx.crash_point("between-transfers")  # fault-injection hook
+        ctx.sync_invoke("ledger", {"account": "merchant",
+                                   "amount": payload["price"]})
+        return "receipt"
+
+    runtime.register_ssf("checkout", checkout)
+    return ledger_ssf
+
+
+def run(runtime, ledger_ssf, label):
+    outcome = {}
+
+    def client():
+        try:
+            outcome["result"] = runtime.client_call("checkout",
+                                                    {"price": 42})
+        except FunctionCrashed:
+            outcome["result"] = "CRASHED"
+
+    runtime.start_collectors(ic_period=100.0, gc_period=10_000.0)
+    runtime.kernel.spawn(client)
+    runtime.kernel.run(until=5_000.0)
+    runtime.stop_collectors()
+    runtime.kernel.run(until=8_000.0)
+    customer = ledger_ssf.env.peek("books", "customer") or 0
+    merchant = ledger_ssf.env.peek("books", "merchant") or 0
+    print(f"{label:28s} client saw: {outcome['result']!r:12} "
+          f"customer={customer:+d} merchant={merchant:+d} "
+          f"(sum {customer + merchant:+d})")
+    return customer + merchant
+
+
+def main():
+    print("=== happy path (Beldi) ===")
+    runtime = BeldiRuntime(seed=1, config=BeldiConfig(
+        ic_restart_delay=50.0))
+    ledger_ssf = register_shop(runtime)
+    run(runtime, ledger_ssf, "no crash:")
+    runtime.kernel.shutdown()
+
+    print("\n=== crash between the two transfers ===")
+    baseline = BaselineRuntime(seed=1)
+    baseline.platform.crash_policy = CrashOnce(
+        "checkout", tag="between-transfers")
+    ledger_ssf = register_shop(baseline)
+    drift = run(baseline, ledger_ssf, "baseline (no recovery):")
+    baseline.kernel.shutdown()
+    assert drift != 0, "baseline should have lost money"
+
+    beldi = BeldiRuntime(seed=1, config=BeldiConfig(
+        ic_restart_delay=50.0))
+    beldi.platform.crash_policy = CrashOnce(
+        "checkout", tag="between-transfers")
+    ledger_ssf = register_shop(beldi)
+    drift = run(beldi, ledger_ssf, "Beldi (IC re-executes):")
+    beldi.kernel.shutdown()
+    assert drift == 0, "Beldi must conserve money"
+    print("\nBeldi recovered the crashed workflow exactly once. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Reproduction of Beldi (OSDI 2020): fault-tolerant and transactional
+stateful serverless workflows.
+
+Packages:
+
+- ``repro.sim`` — deterministic discrete-event simulation kernel
+- ``repro.kvstore`` — DynamoDB-like NoSQL store (substrate)
+- ``repro.platform`` — serverless platform emulator (substrate)
+- ``repro.core`` — Beldi itself: the library and runtime
+- ``repro.apps`` — the three case-study applications (§7.1)
+- ``repro.workload`` — open-loop load generation and latency recording
+- ``repro.bench`` — drivers that regenerate the paper's figures
+"""
+
+__version__ = "0.1.0"

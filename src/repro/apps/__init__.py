@@ -1,0 +1,39 @@
+"""The paper's three case-study applications (§7.1, Appendix B).
+
+Ports of the DeathStarBench-derived workloads the paper evaluates:
+
+- ``repro.apps.movie`` — movie review service, 13 SSFs (Fig. 23)
+- ``repro.apps.travel`` — travel reservation, 10 SSFs with a cross-SSF
+  hotel+flight transaction (Fig. 22)
+- ``repro.apps.social`` — social media site, 13 SSFs (Fig. 24)
+
+Each application is written once against the Beldi context API and runs
+unmodified on :class:`BeldiRuntime` (exactly-once + transactions) or
+:class:`BaselineRuntime` (the paper's no-guarantees baseline).
+"""
+
+from repro.apps.base import AppBundle
+from repro.apps.movie import MovieReviewApp
+from repro.apps.social import SocialMediaApp
+from repro.apps.travel import TravelReservationApp
+
+
+def build_app(name: str, **kwargs) -> "AppBundle":
+    """Factory by app name: ``movie``, ``travel``, or ``social``."""
+    apps = {
+        "movie": MovieReviewApp,
+        "travel": TravelReservationApp,
+        "social": SocialMediaApp,
+    }
+    if name not in apps:
+        raise ValueError(f"unknown app {name!r}; pick from {sorted(apps)}")
+    return apps[name](**kwargs)
+
+
+__all__ = [
+    "AppBundle",
+    "MovieReviewApp",
+    "SocialMediaApp",
+    "TravelReservationApp",
+    "build_app",
+]

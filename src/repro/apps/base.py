@@ -1,0 +1,56 @@
+"""Shared structure for the case-study applications.
+
+An :class:`AppBundle` packages everything an experiment needs: SSF
+registration, data seeding, and a request-mix sampler compatible with the
+workload generator. Bundles are runtime-agnostic — the same handlers run
+on Beldi or the baseline, which is exactly how the paper compares them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.randsrc import RandomSource
+
+
+class AppBundle:
+    """Base class for the three applications."""
+
+    #: Application name (stable identifier for benches).
+    name: str = "app"
+    #: The workflow's entry SSF (the gateway target).
+    entry: str = "frontend"
+    #: Number of SSFs the workflow comprises (checked by tests).
+    ssf_count: int = 0
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rand = RandomSource(seed, f"app/{self.name}")
+        self.installed = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def install(self, runtime: Any) -> None:
+        """Register all SSFs on ``runtime`` and seed initial data."""
+        self.register(runtime)
+        self.seed_data(runtime)
+        self.installed = True
+
+    def register(self, runtime: Any) -> None:
+        raise NotImplementedError
+
+    def seed_data(self, runtime: Any) -> None:
+        raise NotImplementedError
+
+    # -- workload ------------------------------------------------------------
+    def sample_request(self, rand: Optional[RandomSource] = None) -> dict:
+        """Draw one request payload from the app's operation mix."""
+        raise NotImplementedError
+
+    def describe_mix(self) -> dict:
+        """Operation mix as {action: weight} — documented per app."""
+        raise NotImplementedError
+
+
+def pick_weighted(rand: RandomSource, mix: dict) -> str:
+    actions = sorted(mix)
+    weights = [mix[a] for a in actions]
+    return rand.choices(actions, weights, k=1)[0]

@@ -1,0 +1,37 @@
+"""Paper-style table and series printing for bench output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Iterable[Sequence[Any]]) -> str:
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: dict) -> str:
+    """``{label: [(x, y), ...]}`` -> aligned multi-series listing."""
+    lines = [title, "-" * len(title)]
+    for label in sorted(series):
+        points = ", ".join(f"({x:g}, {y:.1f})" for x, y in series[label])
+        lines.append(f"{label:24s} {points}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)

@@ -1,0 +1,64 @@
+"""Beldi: fault-tolerant, transactional stateful serverless functions.
+
+The paper's contribution, reproduced: exactly-once SSF execution through
+logged operations on linked DAALs, exactly-once cross-SSF invocation with
+callbacks, intent and garbage collection, locks-with-intent, and opaque
+transactions over workflows with a coordinator-free commit protocol.
+
+Typical use::
+
+    from repro.core import BeldiRuntime
+
+    runtime = BeldiRuntime(seed=7)
+
+    def reserve(ctx, payload):
+        with ctx.transaction() as tx:
+            seats = ctx.read("seats", payload["flight"])
+            if seats["free"] == 0:
+                ctx.abort_tx()
+            seats["free"] -= 1
+            ctx.write("seats", payload["flight"], seats)
+        return {"ok": tx.committed}
+
+    runtime.register_ssf("reserve", reserve, tables=["seats"])
+    runtime.start_collectors()
+    result = runtime.run_workflow("reserve", {"flight": "UA-42"})
+"""
+
+from repro.core.baseline import (
+    BaselineContext,
+    BaselineEnv,
+    BaselineRuntime,
+)
+from repro.core.config import BeldiConfig
+from repro.core.context import BeldiContext
+from repro.core.env import BeldiEnv
+from repro.core.errors import (
+    BeldiError,
+    InvokeFailed,
+    MisusedApi,
+    NotSupported,
+    TableNotDeclared,
+    TxnAborted,
+)
+from repro.core.runtime import BeldiRuntime, SSFDefinition
+from repro.core.txn import TransactionHandle, TxnContext
+
+__all__ = [
+    "BaselineContext",
+    "BaselineEnv",
+    "BaselineRuntime",
+    "BeldiConfig",
+    "BeldiContext",
+    "BeldiEnv",
+    "BeldiError",
+    "BeldiRuntime",
+    "InvokeFailed",
+    "MisusedApi",
+    "NotSupported",
+    "SSFDefinition",
+    "TableNotDeclared",
+    "TransactionHandle",
+    "TxnAborted",
+    "TxnContext",
+]

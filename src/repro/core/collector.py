@@ -1,0 +1,59 @@
+"""The intent collector (IC): at-least-once re-execution (§3.3).
+
+A timer-triggered SSF that scans its env's intent table for instances
+lacking the done flag and restarts them with their original instance id
+and arguments. Restarting a *live* instance is safe — every step is
+at-most-once via the logs — but wasteful, so the IC implements the
+paper's two optimizations:
+
+1. it only restarts instances whose last launch is older than
+   ``ic_restart_delay`` (claimed via a conditional update so concurrent
+   IC instances spawn one duplicate, not many), and
+2. it finds pending intents through a sparse secondary index rather than
+   scanning every record.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import intents
+from repro.core.env import BeldiEnv
+from repro.platform.context import InvocationContext
+from repro.platform.errors import TooManyRequests
+
+
+def make_intent_collector(runtime, env: BeldiEnv):
+    """Build the IC handler for one env; registered as a platform fn."""
+
+    def intent_collector(platform_ctx: InvocationContext,
+                         payload: Any) -> dict:
+        now = runtime.kernel.now
+        delay = runtime.config.ic_restart_delay
+        restarted: list[str] = []
+        skipped = 0
+        for intent in intents.pending_intents(env):
+            instance_id = intent["InstanceId"]
+            last = intent.get("LastLaunched", 0.0)
+            if now - last < delay:
+                skipped += 1
+                continue
+            if not intents.record_launch(env, instance_id, now, last):
+                skipped += 1  # another IC claimed this restart
+                continue
+            relaunch = {
+                "kind": "call",
+                "instance_id": instance_id,
+                "input": intent.get("Args"),
+                "async": intent.get("Async", False),
+                "caller": intent.get("Caller"),
+                "txn": intent.get("Txn"),
+            }
+            try:
+                platform_ctx.async_invoke(intent["Function"], relaunch)
+                restarted.append(instance_id)
+            except TooManyRequests:
+                break  # the account is saturated; try again next tick
+        return {"restarted": restarted, "skipped": skipped}
+
+    return intent_collector

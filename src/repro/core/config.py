@@ -1,0 +1,42 @@
+"""Beldi configuration knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BeldiConfig:
+    """Tuning parameters for the Beldi runtime.
+
+    row_log_capacity:
+        ``N`` — max write-log entries per linked-DAAL row. In DynamoDB this
+        is derived from the 400 KB row cap and the value size; it is the
+        knob that turns one row into a linked list (§4.1).
+    gc_t:
+        ``T`` — assumed maximum lifetime of an SSF instance, in virtual ms.
+        The GC only recycles logs/rows that have been done/dangling for at
+        least ``T`` (§5). Derived from the platform execution timeout.
+    ic_restart_delay:
+        The intent collector only restarts an unfinished instance if at
+        least this long has passed since it was last launched (§3.3's
+        first IC optimization).
+    invoke_retry_backoff / invoke_retry_limit:
+        Caller-side retry schedule when a synchronous invocation fails and
+        the result has not yet appeared in the invoke log.
+    lock_retry_backoff / lock_retry_limit:
+        Spin schedule for lock acquisition (wait-die retries in txns;
+        plain waiting otherwise).
+    gc_page_limit:
+        Max intent-table records processed per GC run (Appendix A's
+        bounded-collection refinement); ``None`` disables paging.
+    """
+
+    row_log_capacity: int = 8
+    gc_t: float = 60_000.0
+    ic_restart_delay: float = 30_000.0
+    invoke_retry_backoff: float = 20.0
+    invoke_retry_limit: int = 50
+    lock_retry_backoff: float = 10.0
+    lock_retry_limit: int = 500
+    gc_page_limit: int | None = None

@@ -1,0 +1,229 @@
+"""BeldiContext: the API surface SSF handlers program against (Fig. 2).
+
+One context exists per running instance. It carries the instance id, the
+step counter, the transaction context (if any), and dispatches every
+operation either to the plain exactly-once wrappers or — in a
+transaction's Execute mode — to the locked, shadow-redirected variants.
+The dispatch is the mechanism behind §6.2's "if an SSF is in a
+transactional context, Beldi modifies the semantics of its API".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core import daal, invoke, ops, txn as txn_mod
+from repro.core.config import BeldiConfig
+from repro.core.env import BeldiEnv
+from repro.core.errors import MisusedApi
+from repro.core.txn import (
+    EXECUTE,
+    TransactionHandle,
+    TxnContext,
+    finish_transaction,
+)
+from repro.kvstore import KVStore
+from repro.kvstore.expressions import Condition
+from repro.platform.context import InvocationContext
+
+
+class BeldiContext:
+    """Identity, step bookkeeping, and the Beldi API for one instance."""
+
+    def __init__(self, runtime, function_name: str, env: BeldiEnv,
+                 platform_ctx: InvocationContext, instance_id: str,
+                 intent: dict, txn: Optional[TxnContext] = None) -> None:
+        self.runtime = runtime
+        self.function_name = function_name
+        self.env = env
+        self.platform_ctx = platform_ctx
+        self.instance_id = instance_id
+        self.intent = intent
+        self.txn = txn
+        self._step = 0
+
+    # -- plumbing the op wrappers rely on ------------------------------------
+    @property
+    def store(self) -> KVStore:
+        return self.env.store
+
+    @property
+    def config(self) -> BeldiConfig:
+        return self.env.config
+
+    @property
+    def start_time(self) -> float:
+        """Intent-creation time: stable across re-executions."""
+        return self.intent.get("StartTime", 0.0)
+
+    def next_step(self) -> int:
+        step = self._step
+        self._step += 1
+        return step
+
+    def fresh_row_id(self) -> str:
+        return f"row-{self.runtime.fresh_uuid()}"
+
+    def fresh_callee_id(self) -> str:
+        return self.runtime.fresh_uuid()
+
+    def crash_point(self, tag: str) -> None:
+        self.platform_ctx.crash_point(tag)
+
+    def sleep(self, duration: float) -> None:
+        self.platform_ctx.sleep(duration)
+
+    def in_txn_execute(self) -> bool:
+        return self.txn is not None and self.txn.mode == EXECUTE
+
+    def in_transaction(self) -> bool:
+        """Whether this instance runs inside a transactional context."""
+        return self.txn is not None
+
+    # -- key-value API (Fig. 2) ------------------------------------------------
+    def read(self, table: str, key: Any) -> Any:
+        """Exactly-once read; ``None`` if the item does not exist."""
+        if self.in_txn_execute():
+            value = txn_mod.tx_read(self, table, key)
+        elif self.env.storage_mode == "crosstable":
+            from repro.core import crosstable
+            value = crosstable.flat_read_op(
+                self, self.env.data_table(table), key)
+        else:
+            value = ops.read_op(self, self.env.data_table(table), key)
+        return None if value == daal.MISSING else value
+
+    def write(self, table: str, key: Any, value: Any) -> None:
+        """Exactly-once write."""
+        if self.in_txn_execute():
+            txn_mod.tx_write(self, table, key, value)
+        elif self.env.storage_mode == "crosstable":
+            from repro.core import crosstable
+            crosstable.flat_write_op(self, self.env.data_table(table),
+                                     key, value)
+        else:
+            ops.write_op(self, self.env.data_table(table), key, value)
+
+    def cond_write(self, table: str, key: Any, value: Any,
+                   condition: Condition) -> bool:
+        """Exactly-once conditional write; returns the condition outcome.
+
+        Outside transactions the condition is evaluated server-side
+        against the item's row (use ``path("Value", ...)`` to address into
+        the stored value). Inside a transaction it is evaluated against
+        the locked, shadow-aware view.
+        """
+        if self.in_txn_execute():
+            return txn_mod.tx_cond_write(self, table, key, value, condition)
+        if self.env.storage_mode == "crosstable":
+            from repro.core import crosstable
+            return crosstable.flat_cond_write_op(
+                self, self.env.data_table(table), key, value, condition)
+        return ops.cond_write_op(self, self.env.data_table(table), key,
+                                 condition, value=value)
+
+    # -- invocation API -----------------------------------------------------------
+    def sync_invoke(self, callee: str, payload: Any = None) -> Any:
+        """Call another SSF and wait for its result (exactly-once)."""
+        return invoke.sync_invoke_op(self, callee, payload)
+
+    def async_invoke(self, callee: str, payload: Any = None) -> None:
+        """Start another SSF without waiting (exactly-once)."""
+        invoke.async_invoke_op(self, callee, payload)
+
+    def parallel_invoke(self, calls: list) -> list:
+        """Invoke several SSFs concurrently and join their results.
+
+        ``calls`` is a list of ``(callee, payload)`` pairs; results come
+        back in call order. Safe inside transactions (§6.2 permits
+        threads issuing syncInvoke that are then joined); step numbers
+        are pre-allocated sequentially so replays are deterministic.
+        """
+        return invoke.parallel_invoke_op(self, calls)
+
+    # -- locks (§6.1) -----------------------------------------------------------------
+    def lock(self, table: str, key: Any) -> None:
+        """Acquire a lock-with-intent on an item (blocks via retries).
+
+        Owned by the *intent*, not the worker: if this instance crashes
+        and re-executes, the replayed ``lock`` observes it already holds
+        the lock and proceeds.
+        """
+        full = self.env.data_table(table)
+        owner = {"Id": self.instance_id, "Ts": self.start_time}
+        attempts = 0
+        from repro.kvstore import Set
+        while True:
+            acquired = ops.cond_write_op(
+                self, full, key,
+                condition=daal.lock_free_condition(self.instance_id),
+                set_value=False,
+                extra_updates=[Set("LockOwner", owner)])
+            if acquired:
+                return
+            attempts += 1
+            if attempts > self.config.lock_retry_limit:
+                raise MisusedApi(
+                    f"lock({table!r}, {key!r}) starved; possible deadlock "
+                    "in application code")
+            self.sleep(self.config.lock_retry_backoff)
+
+    def unlock(self, table: str, key: Any) -> None:
+        """Release a lock-with-intent (exactly-once via the write log)."""
+        from repro.kvstore import Remove
+        from repro.kvstore.expressions import path as kv_path
+        from repro.kvstore import Eq
+        full = self.env.data_table(table)
+        ops.cond_write_op(
+            self, full, key,
+            condition=Eq(kv_path("LockOwner", "Id"), self.instance_id),
+            set_value=False,
+            extra_updates=[Remove("LockOwner")])
+
+    # -- transactions (§6.2) ------------------------------------------------------------
+    def begin_tx(self) -> TxnContext:
+        """Open a transaction (or join the inherited one).
+
+        The transaction id derives from the instance id and the current
+        step, and the wait-die timestamp from the intent-creation time —
+        both stable under re-execution.
+        """
+        if self.txn is not None:
+            return self.txn  # nested begin_tx is inherited (§6.2)
+        seq = self.next_step()
+        self.txn = TxnContext(
+            txn_id=f"{self.instance_id}{txn_mod.TXN_ID_SEPARATOR}{seq}",
+            start_time=self.start_time,
+            owner=True)
+        return self.txn
+
+    def end_tx(self, commit: bool = True) -> str:
+        """Close the transaction; returns ``"commit"``/``"abort"``/
+        ``"inherited"``."""
+        return finish_transaction(self, commit=commit)
+
+    def abort_tx(self) -> None:
+        """Abort the enclosing transaction from application code."""
+        from repro.core.errors import TxnAborted
+        if self.txn is None:
+            raise MisusedApi("abort_tx outside a transaction")
+        self.txn.aborted = True
+        raise TxnAborted("aborted by application")
+
+    def transaction(self) -> TransactionHandle:
+        """``with ctx.transaction() as tx:`` — commit on clean exit,
+        abort (and swallow the :class:`TxnAborted`) otherwise."""
+        return TransactionHandle(self)
+
+    # -- logged non-determinism (§3.1's determinism requirement) ----------------------------
+    def record(self, compute: Callable[[], Any]) -> Any:
+        """Run ``compute()`` once; replays return the logged result."""
+        return ops.record_op(self, compute)
+
+    def fresh_id(self) -> str:
+        """A UUID that is stable across re-executions of this step."""
+        return self.record(self.runtime.fresh_uuid)
+
+    def current_time(self) -> float:
+        """Wall-clock time, logged for deterministic replay."""
+        return self.record(lambda: self.platform_ctx.now)

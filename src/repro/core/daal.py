@@ -1,0 +1,338 @@
+"""The linked DAAL: Beldi's per-item log-and-data linked list (§4.1).
+
+Every item in a Beldi data table is a chain of rows sharing the item's
+``Key`` (the hash key) and distinguished by ``RowId`` (the range key):
+
+====================  =====================================================
+Column                Meaning
+====================  =====================================================
+``Key``               Item key (hash key)
+``RowId``             ``"HEAD"`` for the first row; UUIDs after that
+``Value``             Item value as of the last write logged in this row
+``RecentWrites``      Map: log key -> outcome (write log for this row)
+``LogSize``           Number of entries ever logged in this row
+``NextRow``           RowId of the successor once this row filled up
+``LockOwner``         ``{"Id", "Ts"}`` map — lock-with-intent owner (§6.1)
+``DangleTime``        Set by the GC when the row is disconnected (§5)
+``TxnId``/``OrigKey`` Only on shadow-table chains (§6.2)
+====================  =====================================================
+
+A row is an atomicity scope: one conditional update can check the write
+log, the log size, and the chain position, and apply the write plus its
+log entry atomically — which is the whole trick. Rows are immutable once
+full (``LogSize == N`` and ``NextRow`` set), so the tail always carries the
+current value.
+
+Traversal uses a single query with a ``(RowId, NextRow)`` projection to
+build a local *skeleton* of the chain, then walks it in memory: any row
+reachable from ``HEAD`` up to the first missing ``NextRow`` is a consistent
+snapshot under a linearizable store (§4.1). Orphan rows — left over from
+appends that lost the CAS race or crashed mid-append — show up in the query
+result but are ignored by the walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.kvstore import (
+    And,
+    AttrExists,
+    AttrNotExists,
+    ConditionFailed,
+    Eq,
+    KVStore,
+    Remove,
+    Set,
+    SizeLt,
+)
+from repro.kvstore.expressions import Condition, Projection, path
+
+HEAD_ROW_ID = "HEAD"
+
+# A Value sentinel for "item does not exist yet"; never exposed to apps.
+MISSING = "__beldi_missing__"
+
+
+@dataclass
+class Skeleton:
+    """Local view of one item's chain built from a projected query."""
+
+    key: Any
+    reachable: list[str]          # row ids from HEAD to tail, in order
+    orphans: list[str]            # rows present but not reachable
+    log_hits: dict[str, Any]      # log outcomes found for the probed key
+
+    @property
+    def exists(self) -> bool:
+        return bool(self.reachable)
+
+    @property
+    def tail(self) -> Optional[str]:
+        return self.reachable[-1] if self.reachable else None
+
+
+def ensure_head(store: KVStore, table: str, key: Any,
+                value: Any = MISSING,
+                extra_attrs: Optional[dict] = None) -> None:
+    """Create the item's head row if it does not exist yet.
+
+    Safe to race: the conditional put makes exactly one creator win.
+    """
+    item = {"Key": key, "RowId": HEAD_ROW_ID, "Value": value,
+            "RecentWrites": {}, "LogSize": 0, "Version": 0}
+    if extra_attrs:
+        item.update(extra_attrs)
+    try:
+        store.put(table, item, condition=AttrNotExists("RowId"))
+    except ConditionFailed:
+        pass
+
+
+def load_skeleton(store: KVStore, table: str, key: Any,
+                  probe_log_key: Optional[str] = None) -> Skeleton:
+    """One projected query -> local chain skeleton (§4.1 traversal).
+
+    When ``probe_log_key`` is given, the projection additionally fetches
+    ``RecentWrites.<log key>`` per row so the caller learns, from the same
+    snapshot, whether its operation already executed — and with what
+    logged outcome (needed by conditional writes).
+    """
+    columns = [path("RowId"), path("NextRow")]
+    if probe_log_key is not None:
+        columns.append(path("RecentWrites", probe_log_key))
+    result = store.query(table, key, projection=Projection(columns))
+    next_of: dict[str, Optional[str]] = {}
+    hit_of: dict[str, Any] = {}
+    for row in result.items:
+        row_id = row["RowId"]
+        next_of[row_id] = row.get("NextRow")
+        if probe_log_key is not None:
+            writes = row.get("RecentWrites") or {}
+            if probe_log_key in writes:
+                hit_of[row_id] = writes[probe_log_key]
+    reachable: list[str] = []
+    log_hits: dict[str, Any] = {}
+    cursor: Optional[str] = HEAD_ROW_ID if HEAD_ROW_ID in next_of else None
+    seen = set()
+    while cursor is not None and cursor in next_of and cursor not in seen:
+        seen.add(cursor)
+        reachable.append(cursor)
+        if cursor in hit_of:
+            log_hits[cursor] = hit_of[cursor]
+        cursor = next_of[cursor]
+    orphans = [row_id for row_id in next_of if row_id not in seen]
+    return Skeleton(key=key, reachable=reachable, orphans=orphans,
+                    log_hits=log_hits)
+
+
+def load_skeleton_by_pointer(store: KVStore, table: str,
+                             key: Any) -> Skeleton:
+    """Ablation: naive pointer-chasing traversal (§4.1's strawman).
+
+    One ``get`` per row instead of one projected query for the whole
+    chain; the cost grows with chain length, which is exactly why Beldi
+    uses scan+projection. Benchmarked in the traversal ablation.
+    """
+    reachable: list[str] = []
+    cursor: Optional[str] = HEAD_ROW_ID
+    seen = set()
+    while cursor is not None and cursor not in seen:
+        row = store.get(table, (key, cursor),
+                        projection=None)
+        if row is None:
+            break
+        seen.add(cursor)
+        reachable.append(cursor)
+        cursor = row.get("NextRow")
+    return Skeleton(key=key, reachable=reachable, orphans=[], log_hits={})
+
+
+def read_row(store: KVStore, table: str, key: Any,
+             row_id: str) -> Optional[dict]:
+    return store.get(table, (key, row_id))
+
+
+def tail_value(store: KVStore, table: str, key: Any) -> Any:
+    """Current value of the item (``MISSING`` if the chain is absent)."""
+    skeleton = load_skeleton(store, table, key)
+    if not skeleton.exists:
+        return MISSING
+    row = read_row(store, table, key, skeleton.tail)
+    if row is None:
+        return MISSING
+    return row.get("Value", MISSING)
+
+
+def append_row(store: KVStore, table: str, key: Any, prev_row: dict,
+               new_row_id: str) -> str:
+    """Extend the chain past a full row; returns the new tail's row id.
+
+    Lock-free: create the candidate row, then CAS the predecessor's
+    ``NextRow``. Exactly one appender wins; losers adopt the winner's row
+    (their candidate is left orphaned for the GC). The candidate carries
+    the predecessor's ``Value`` and ``LockOwner`` forward so the tail
+    always holds the current value and the live lock (§6.1).
+
+    The CAS is **version-validated**: every row mutation bumps
+    ``Version``, and the link only lands if the predecessor still matches
+    the snapshot the candidate was copied from. Without this, a copy
+    racing a concurrent mutation of the predecessor (e.g. a transaction
+    commit's flush-and-unlock) would resurrect the pre-mutation value and
+    lock in the new tail — a lost update.
+    """
+    prev_id = prev_row["RowId"]
+    while True:
+        candidate = {
+            "Key": key,
+            "RowId": new_row_id,
+            "Value": prev_row.get("Value", MISSING),
+            "RecentWrites": {},
+            "LogSize": 0,
+            "Version": 0,
+        }
+        if "LockOwner" in prev_row:
+            candidate["LockOwner"] = prev_row["LockOwner"]
+        for attr in ("TxnId", "OrigKey", "OwnerInstance"):
+            if attr in prev_row:
+                candidate[attr] = prev_row[attr]
+        store.put(table, candidate)
+        try:
+            store.update(
+                table, (key, prev_id),
+                [Set("NextRow", new_row_id)],
+                condition=And(AttrNotExists("NextRow"),
+                              Eq("Version", prev_row.get("Version", 0))))
+            return new_row_id
+        except ConditionFailed:
+            refreshed = read_row(store, table, key, prev_id)
+            if refreshed is None:
+                raise
+            winner = refreshed.get("NextRow")
+            if winner is not None:
+                return winner  # lost the race: adopt, orphan the copy
+            # Predecessor mutated under us (flush/unlock/another log
+            # entry): re-snapshot and retry with fresh contents.
+            prev_row = refreshed
+
+
+def bump_version():
+    """SET action incrementing a row's mutation counter.
+
+    Every update to a row must include this so that version-validated
+    appends (see :func:`append_row`) can detect concurrent mutation.
+    """
+    from repro.kvstore import IfNotExists, Plus, Value
+    from repro.kvstore.expressions import path as kv_path
+    return Set("Version", Plus(IfNotExists(kv_path("Version"), Value(0)),
+                               Value(1)))
+
+
+def row_has_space(row: dict, capacity: int) -> bool:
+    return row.get("LogSize", 0) < capacity and "NextRow" not in row
+
+
+def case_b_condition(log_key: str, capacity: int) -> Condition:
+    """Fig. 7a case B: op not logged, log has space, no successor."""
+    return And(
+        AttrNotExists(path("RecentWrites", log_key)),
+        SizeLt("RecentWrites", capacity),
+        AttrNotExists(path("NextRow")),
+    )
+
+
+def lock_free_condition(owner_id: str) -> Condition:
+    """Lock is free or already mine (Fig. 11's acquisition condition)."""
+    return AttrNotExists("LockOwner") | Eq(path("LockOwner", "Id"), owner_id)
+
+
+def flush_value(store: KVStore, table: str, key: Any, value: Any,
+                txn_id: str) -> bool:
+    """Commit-phase write: install ``value`` and release the lock, atomically.
+
+    Runs with only at-least-once semantics; idempotency comes from the
+    ``LockOwner.Id == txn_id`` condition — once the first flush lands and
+    releases the lock, every retry fails the condition and backs off.
+    Returns True if this call performed the flush.
+    """
+    while True:
+        skeleton = load_skeleton(store, table, key)
+        if not skeleton.exists:
+            return False
+        tail_id = skeleton.tail
+        row = read_row(store, table, key, tail_id)
+        if row is None:
+            continue
+        owner = row.get("LockOwner")
+        if not owner or owner.get("Id") != txn_id:
+            return False  # already flushed (and unlocked) by a peer
+        if "NextRow" in row:
+            continue  # stale tail; rebuild the skeleton
+        try:
+            store.update(
+                table, (key, tail_id),
+                [Set("Value", value), Remove("LockOwner"),
+                 bump_version()],
+                condition=And(Eq(path("LockOwner", "Id"), txn_id),
+                              AttrNotExists(path("NextRow"))))
+            return True
+        except ConditionFailed:
+            refreshed = read_row(store, table, key, tail_id)
+            if refreshed is None:
+                continue
+            owner = refreshed.get("LockOwner")
+            if not owner or owner.get("Id") != txn_id:
+                return False
+            # Tail changed under us (our own earlier lock/append traffic);
+            # follow the chain and retry.
+            continue
+
+
+def release_lock(store: KVStore, table: str, key: Any,
+                 owner_id: str) -> bool:
+    """Abort-phase unlock (no value install); idempotent like flush."""
+    while True:
+        skeleton = load_skeleton(store, table, key)
+        if not skeleton.exists:
+            return False
+        tail_id = skeleton.tail
+        try:
+            store.update(
+                table, (key, tail_id),
+                [Remove("LockOwner"), bump_version()],
+                condition=And(Eq(path("LockOwner", "Id"), owner_id),
+                              AttrNotExists(path("NextRow"))))
+            return True
+        except ConditionFailed:
+            row = read_row(store, table, key, tail_id)
+            if row is None:
+                continue
+            owner = row.get("LockOwner")
+            if not owner or owner.get("Id") != owner_id:
+                return False
+            continue
+
+
+def chain_rows(store: KVStore, table: str, key: Any) -> list[dict]:
+    """Full (unprojected) reachable rows, head to tail — GC's view."""
+    skeleton = load_skeleton(store, table, key)
+    rows = []
+    for row_id in skeleton.reachable:
+        row = read_row(store, table, key, row_id)
+        if row is not None:
+            rows.append(row)
+    return rows
+
+
+def all_keys(store: KVStore, table: str) -> list[Any]:
+    """Distinct item keys in a DAAL table (``getAllDataKeys`` in Fig. 10)."""
+    result = store.scan(
+        table,
+        filter_condition=Eq("RowId", HEAD_ROW_ID),
+        projection=Projection.of("Key"))
+    return [row["Key"] for row in result.items]
+
+
+def chain_length(store: KVStore, table: str, key: Any) -> int:
+    return len(load_skeleton(store, table, key).reachable)

@@ -1,0 +1,32 @@
+"""Beldi library error types."""
+
+from __future__ import annotations
+
+
+class BeldiError(Exception):
+    """Base class for Beldi errors."""
+
+
+class TxnAborted(BeldiError):
+    """The enclosing transaction died (wait-die) or was aborted by the app.
+
+    User code should let this propagate; the runtime converts it into the
+    transaction outcome and the abort protocol. Inside
+    ``ctx.transaction()`` blocks it is handled automatically.
+    """
+
+
+class InvokeFailed(BeldiError):
+    """A synchronous invocation could not complete after retries."""
+
+
+class TableNotDeclared(BeldiError):
+    """SSF touched a table outside its sovereignty domain (its env)."""
+
+
+class NotSupported(BeldiError):
+    """Operation unsupported in this mode (e.g. asyncInvoke in a txn)."""
+
+
+class MisusedApi(BeldiError):
+    """API contract violation (e.g. end_tx without begin_tx)."""

@@ -1,0 +1,262 @@
+"""The garbage collector (§5, Fig. 10): lock-free log and row pruning.
+
+Runs as a timer-triggered SSF with only at-least-once semantics. One run
+executes six phases over its env:
+
+1. stamp a ``FinishTime`` on intents that completed since the last run;
+2. classify intents finished more than ``T`` ago as *recyclable* — the
+   synchrony assumption (no SSF instance lives longer than ``T``, derived
+   from the platform's execution timeout) guarantees no live instance can
+   still need their logs;
+3. delete the recyclable instances' read-log and invoke-log entries;
+4. prune recyclable entries from reachable DAAL rows and *disconnect*
+   interior rows whose write logs emptied, stamping them with a
+   ``DangleTime`` (in-flight traversals may still be standing on them);
+5. delete rows that have dangled for more than ``T`` and are unreachable
+   from the head — including append-race orphans, which this
+   implementation additionally stamps and collects (the paper leaves
+   orphan reclamation implicit);
+6. delete the recyclable intent records themselves (last, so a crashed GC
+   re-runs the earlier phases for them).
+
+Shadow chains (transaction scratch space) are collected whole — head and
+tail included — once their owning instance and every logged writer are
+gone (§6.2), and lock-set records follow their owner instance.
+
+Liveness classification treats "present in the intent table" as live
+unless recyclable, and "absent" as long-gone (its row entries were
+necessarily created before the intent was deleted in a previous run's
+phase 6). With paging enabled, instances outside the scanned page are
+point-checked before anything of theirs is pruned.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core import daal, logkeys
+from repro.core.env import BeldiEnv
+from repro.kvstore import (
+    AttrNotExists,
+    ConditionFailed,
+    Eq,
+    Remove,
+    Set,
+)
+from repro.kvstore.expressions import Projection, path
+from repro.platform.context import InvocationContext
+
+
+class _Liveness:
+    """Classify instance ids as live / recyclable / long-gone."""
+
+    def __init__(self, env: BeldiEnv, live: set, recyclable: set,
+                 scanned_all: bool) -> None:
+        self.env = env
+        self.live = set(live)
+        self.recyclable = set(recyclable)
+        self.scanned_all = scanned_all
+        self.known_gone: set = set()
+
+    def is_live(self, instance_id: str) -> bool:
+        if instance_id in self.recyclable:
+            return False
+        if instance_id in self.live:
+            return True
+        if instance_id in self.known_gone:
+            return False
+        # Unknown id: it may have registered *after* our intent scan (an
+        # intent is always inserted before any DAAL write), or it may sit
+        # outside a paged scan. Point-check the table; "absent" is then
+        # definitive — only phase 6 of a previous run can have removed it,
+        # which implies it was recyclable.
+        record = self.env.store.get(self.env.intent_table, instance_id)
+        if record is None:
+            self.known_gone.add(instance_id)
+            return False
+        self.live.add(instance_id)
+        return True
+
+
+def make_garbage_collector(runtime, env: BeldiEnv):
+    """Build the GC handler for one env; registered as a platform fn."""
+
+    def garbage_collector(platform_ctx: InvocationContext,
+                          payload: Any) -> dict:
+        now = runtime.kernel.now
+        t_bound = runtime.config.gc_t
+        store = env.store
+        stats = {"stamped": 0, "recycled_intents": 0, "log_entries": 0,
+                 "pruned_entries": 0, "disconnected": 0, "deleted_rows": 0,
+                 "shadow_chains": 0, "locksets": 0}
+
+        # Phases 1-2: stamp finish times; find recyclable intents.
+        live: set = set()
+        recyclable: list[str] = []
+        page_limit = runtime.config.gc_page_limit
+        scan = store.scan(env.intent_table, limit=page_limit)
+        scanned_all = scan.last_evaluated_key is None
+        for intent in scan.items:
+            instance_id = intent["InstanceId"]
+            if not intent.get("Done"):
+                live.add(instance_id)
+                continue
+            if "FinishTime" not in intent:
+                try:
+                    store.update(env.intent_table, instance_id,
+                                 [Set("FinishTime", now)],
+                                 condition=AttrNotExists("FinishTime"))
+                    stats["stamped"] += 1
+                except ConditionFailed:
+                    pass  # a concurrent GC stamped it
+                live.add(instance_id)
+            elif now - intent["FinishTime"] > t_bound:
+                recyclable.append(instance_id)
+            else:
+                live.add(instance_id)
+        liveness = _Liveness(env, live, set(recyclable), scanned_all)
+
+        # Phase 3: drop read/invoke(/write) log entries of recyclables.
+        log_tables = [env.read_log, env.invoke_log]
+        if env.storage_mode == "crosstable":
+            log_tables.append(env.write_log)
+        for instance_id in recyclable:
+            for log_table in log_tables:
+                entries = store.query(log_table, instance_id,
+                                      projection=Projection.of("Step"))
+                for entry in entries.items:
+                    store.delete(log_table, (instance_id, entry["Step"]))
+                    stats["log_entries"] += 1
+
+        # Phases 4-5: DAAL maintenance for data tables and shadows
+        # (cross-table mode has flat tables; nothing to disconnect).
+        if env.storage_mode == "daal":
+            for short in env.table_names():
+                table = env.data_table(short)
+                for key in daal.all_keys(store, table):
+                    _collect_chain(store, table, key, liveness, now,
+                                   t_bound, stats)
+                shadow = env.shadow_table(short)
+                _collect_shadows(store, shadow, liveness, now, t_bound,
+                                 stats)
+
+        # Lock sets die with their owning instance.
+        lockset_scan = store.scan(env.lockset_table)
+        for ref in lockset_scan.items:
+            if not liveness.is_live(ref.get("OwnerInstance", "")):
+                store.delete(env.lockset_table,
+                             (ref["TxnId"], ref["LockRef"]))
+                stats["locksets"] += 1
+
+        # Phase 6: finally retire the intent records.
+        for instance_id in recyclable:
+            store.delete(env.intent_table, instance_id)
+            stats["recycled_intents"] += 1
+        return stats
+
+    return garbage_collector
+
+
+def _entry_instances(row: dict) -> set:
+    return {logkeys.instance_of(log_key)
+            for log_key in (row.get("RecentWrites") or {})}
+
+
+def _collect_chain(store, table: str, key: Any, liveness: _Liveness,
+                   now: float, t_bound: float, stats: dict) -> None:
+    """Phases 4-5 for one item's chain."""
+    result = store.query(table, key)
+    rows = {row["RowId"]: row for row in result.items}
+    if daal.HEAD_ROW_ID not in rows:
+        return
+    # Reachable chain walk (same rule as the traversal).
+    chain: list[dict] = []
+    cursor: Optional[str] = daal.HEAD_ROW_ID
+    seen = set()
+    while cursor is not None and cursor in rows and cursor not in seen:
+        seen.add(cursor)
+        chain.append(rows[cursor])
+        cursor = rows[cursor].get("NextRow")
+
+    # Prune dead log entries everywhere in the reachable chain. LogSize is
+    # intentionally left as a high-water mark so "full" rows stay full.
+    for row in chain:
+        dead = [log_key for log_key in (row.get("RecentWrites") or {})
+                if not liveness.is_live(logkeys.instance_of(log_key))]
+        if dead:
+            store.update(table, (key, row["RowId"]),
+                         [Remove(path("RecentWrites", log_key))
+                          for log_key in dead] + [daal.bump_version()])
+            row["RecentWrites"] = {
+                log_key: outcome
+                for log_key, outcome in row["RecentWrites"].items()
+                if log_key not in dead}
+            stats["pruned_entries"] += len(dead)
+
+    # Disconnect interior rows whose logs emptied (head and tail stay).
+    prev = chain[0] if chain else None
+    for row in chain[1:-1]:
+        if not row.get("RecentWrites") and "NextRow" in row:
+            try:
+                store.update(
+                    table, (key, prev["RowId"]),
+                    [Set("NextRow", row["NextRow"])],
+                    condition=Eq("NextRow", row["RowId"]))
+                _stamp_dangle(store, table, key, row, now)
+                stats["disconnected"] += 1
+                continue  # prev stays prev: it now points past this row
+            except ConditionFailed:
+                pass  # concurrent GC changed the link; be conservative
+        prev = row
+
+    # Orphans and disconnected rows: stamp first sighting, delete after T.
+    for row_id, row in rows.items():
+        if row_id in seen:
+            continue
+        if "DangleTime" not in row:
+            _stamp_dangle(store, table, key, row, now)
+        elif now - row["DangleTime"] > t_bound:
+            store.delete(table, (key, row_id))
+            stats["deleted_rows"] += 1
+
+
+def _stamp_dangle(store, table: str, key: Any, row: dict,
+                  now: float) -> None:
+    try:
+        store.update(table, (key, row["RowId"]),
+                     [Set("DangleTime", now)],
+                     condition=AttrNotExists("DangleTime"))
+    except ConditionFailed:
+        pass
+
+
+def _collect_shadows(store, shadow_table: str, liveness: _Liveness,
+                     now: float, t_bound: float, stats: dict) -> None:
+    """Collect whole shadow chains once every writer (and the owning
+    instance) is gone; head and tail are deleted too (§6.2)."""
+    for key in daal.all_keys(store, shadow_table):
+        result = store.query(shadow_table, key)
+        rows = result.items
+        writers = set()
+        owner = None
+        for row in rows:
+            writers |= _entry_instances(row)
+            owner = row.get("OwnerInstance", owner)
+        if owner is not None and liveness.is_live(owner):
+            continue
+        if any(liveness.is_live(instance_id) for instance_id in writers):
+            continue
+        head = next((row for row in rows
+                     if row["RowId"] == daal.HEAD_ROW_ID), None)
+        if head is not None and "DangleTime" not in head:
+            # Two-step retirement: stamp now, delete a full T later, so a
+            # just-started writer that raced the liveness check can still
+            # finish against a consistent chain.
+            _stamp_dangle(store, shadow_table, key, head, now)
+            continue
+        if head is not None and now - head["DangleTime"] <= t_bound:
+            continue
+        for row in rows:
+            store.delete(shadow_table, (key, row["RowId"]))
+            stats["deleted_rows"] += 1
+        stats["shadow_chains"] += 1

@@ -1,0 +1,232 @@
+"""SSF-to-SSF invocation with exactly-once semantics (§4.5).
+
+The invoke log pins down the callee's identity: the first execution of a
+caller step draws a fresh callee instance id and conditionally logs it;
+every re-execution reuses the logged id, so the callee can tell
+re-deliveries from new work via its own intent table.
+
+Results travel through the **callback**: before a callee marks itself
+done, it re-invokes *some* instance of the caller's function, whose
+callback handler records the result in the caller's invoke log (Fig. 9).
+Only then may the callee complete — otherwise the callee's independent GC
+could recycle the intent before the caller saw the result, and a caller
+re-execution would run the callee twice. The callee's direct return value
+is merely an optimization.
+
+Asynchronous invocation splits in two (Fig. 20): a synchronous
+*registration* call that logs the intent in the callee's intent table and
+acks back into the caller's invoke log, then the actual async dispatch.
+If the dispatch is lost, the callee's IC finds the registered, unfinished
+intent and runs it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import InvokeFailed, NotSupported, TxnAborted
+from repro.kvstore import AttrNotExists, ConditionFailed, Eq, Set
+from repro.platform.errors import (
+    FunctionCrashed,
+    FunctionTimeout,
+    TooManyRequests,
+)
+
+ASYNC_ACK = "__beldi_async_ack__"
+TXN_ABORT_MARKER = "__beldi_txn_abort__"
+
+
+def wrap_result(result: Any, aborted: bool) -> Any:
+    return TXN_ABORT_MARKER if aborted else result
+
+
+def unwrap_result(result: Any) -> Any:
+    if result == TXN_ABORT_MARKER:
+        raise TxnAborted("callee died inside the transaction")
+    return result
+
+
+def _log_invoke(ctx, step: int, callee: str, is_async: bool
+                ) -> tuple[str, Any]:
+    """Claim (or recover) the invoke-log entry for this step.
+
+    Returns ``(callee instance id, logged result or None)``.
+    """
+    callee_id = ctx.fresh_callee_id()
+    entry = {
+        "InstanceId": ctx.instance_id,
+        "Step": step,
+        "CalleeId": callee_id,
+        "Callee": callee,
+        "Async": is_async,
+        "InTxn": ctx.in_txn_execute(),
+    }
+    try:
+        ctx.store.put(ctx.env.invoke_log, entry,
+                      condition=AttrNotExists("InstanceId"))
+        return callee_id, None
+    except ConditionFailed:
+        record = ctx.store.get(ctx.env.invoke_log,
+                               (ctx.instance_id, step))
+        if record is None:
+            raise InvokeFailed("invoke log entry vanished") from None
+        return record["CalleeId"], record.get("Result")
+
+
+def _check_logged_result(ctx, step: int) -> tuple[bool, Any]:
+    record = ctx.store.get(ctx.env.invoke_log, (ctx.instance_id, step))
+    if record is not None and "Result" in record:
+        return True, record["Result"]
+    return False, None
+
+
+def prepare_invoke(ctx, callee: str, payload_input: Any) -> dict:
+    """Phase 1 of a synchronous invoke: allocate the step and pin the
+    callee id in the invoke log. Deterministic and sequential, so
+    parallel invocations replay with stable step numbers."""
+    step = ctx.next_step()
+    ctx.crash_point(f"invoke:{step}:start")
+    callee_id, logged = _log_invoke(ctx, step, callee, is_async=False)
+    call = {
+        "kind": "call",
+        "instance_id": callee_id,
+        "input": payload_input,
+        "caller": {"ssf": ctx.function_name,
+                   "instance_id": ctx.instance_id,
+                   "step": step},
+        "async": False,
+    }
+    if ctx.in_txn_execute():
+        call["txn"] = ctx.txn.payload()
+    return {"step": step, "callee": callee, "call": call,
+            "logged": logged}
+
+
+def complete_invoke(ctx, prepared: dict, crash_points: bool = True) -> Any:
+    """Phase 2: deliver (with the crash-retry loop) and return the result.
+
+    If the platform reports a failed delivery, the result may still have
+    arrived through the callback (the callee may have finished and died
+    before replying) — so each retry first consults the invoke log before
+    re-invoking with the *same* callee id.
+    """
+    if prepared["logged"] is not None:
+        return unwrap_result(prepared["logged"])
+    step = prepared["step"]
+    callee = prepared["callee"]
+    attempts = 0
+    while True:
+        if crash_points:
+            ctx.crash_point(f"invoke:{step}:before-call")
+        try:
+            result = ctx.platform_ctx.sync_invoke(callee,
+                                                  prepared["call"])
+            if crash_points:
+                ctx.crash_point(f"invoke:{step}:after-call")
+            return unwrap_result(result)
+        except (FunctionCrashed, FunctionTimeout, TooManyRequests):
+            found, result = _check_logged_result(ctx, step)
+            if found:
+                return unwrap_result(result)
+            attempts += 1
+            if attempts > ctx.config.invoke_retry_limit:
+                raise InvokeFailed(
+                    f"sync invoke of {callee!r} failed after "
+                    f"{attempts} attempts")
+            ctx.sleep(ctx.config.invoke_retry_backoff * attempts)
+
+
+def sync_invoke_op(ctx, callee: str, payload_input: Any) -> Any:
+    """Fig. 8's caller path: prepare, then deliver."""
+    return complete_invoke(ctx, prepare_invoke(ctx, callee,
+                                               payload_input))
+
+
+def parallel_invoke_op(ctx, calls: list) -> list:
+    """Concurrent synchronous invocations, joined (§6.2's threads).
+
+    Steps and invoke-log entries are allocated sequentially first, so
+    re-executions replay the identical log keys regardless of completion
+    order; only the deliveries run concurrently. A TxnAborted from any
+    branch is re-raised after all branches join (locks held by the
+    survivors stay consistent for the abort protocol).
+    """
+    prepared = [prepare_invoke(ctx, callee, payload)
+                for callee, payload in calls]
+    kernel = ctx.runtime.kernel
+    procs = [kernel.spawn(complete_invoke, ctx, p, False,
+                          name=f"parallel:{p['callee']}")
+             for p in prepared]
+    results: list = []
+    aborted = False
+    first_error: Any = None
+    for proc in procs:
+        try:
+            results.append(kernel.join(proc))
+        except TxnAborted:
+            aborted = True
+            results.append(None)
+        except Exception as exc:  # noqa: BLE001 - joined below
+            first_error = first_error or exc
+            results.append(None)
+    if aborted:
+        raise TxnAborted("a parallel branch died inside the transaction")
+    if first_error is not None:
+        raise first_error
+    return results
+
+
+def async_invoke_op(ctx, callee: str, payload_input: Any) -> None:
+    """Fig. 20's caller path: register synchronously, then fire async."""
+    if ctx.in_txn_execute():
+        raise NotSupported("asyncInvoke is not supported in transactions")
+    step = ctx.next_step()
+    ctx.crash_point(f"invoke:{step}:start")
+    callee_id, logged = _log_invoke(ctx, step, callee, is_async=True)
+    acked = logged == ASYNC_ACK
+    if not acked:
+        registration = {
+            "kind": "async_register",
+            "instance_id": callee_id,
+            "input": payload_input,
+            "caller": {"ssf": ctx.function_name,
+                       "instance_id": ctx.instance_id,
+                       "step": step},
+        }
+        attempts = 0
+        while True:
+            try:
+                ctx.platform_ctx.sync_invoke(callee, registration)
+                break
+            except (FunctionCrashed, FunctionTimeout, TooManyRequests):
+                found, result = _check_logged_result(ctx, step)
+                if found and result == ASYNC_ACK:
+                    break
+                attempts += 1
+                if attempts > ctx.config.invoke_retry_limit:
+                    raise InvokeFailed(
+                        f"async registration with {callee!r} failed "
+                        f"after {attempts} attempts")
+                ctx.sleep(ctx.config.invoke_retry_backoff * attempts)
+    ctx.crash_point(f"invoke:{step}:before-async")
+    # At-least-once from here: if this dispatch is lost (or we crash), the
+    # callee's intent collector finds the registered intent and runs it.
+    ctx.platform_ctx.async_invoke(
+        callee, {"kind": "call", "instance_id": callee_id, "async": True})
+
+
+def record_callback(env, store, log_instance: str, log_step: int,
+                    callee_id: str, result: Any) -> bool:
+    """Callback handler body: pin the result into the caller's invoke log.
+
+    Conditioned on the logged callee id so a *spurious* callback — from a
+    callee re-executed after the caller was garbage collected, or a stale
+    duplicate — is detected and ignored (§4.5).
+    """
+    try:
+        store.update(env.invoke_log, (log_instance, log_step),
+                     [Set("Result", result)],
+                     condition=Eq("CalleeId", callee_id))
+        return True
+    except ConditionFailed:
+        return False

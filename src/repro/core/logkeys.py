@@ -1,0 +1,27 @@
+"""Log-key encoding shared by the DAAL write log and the log tables.
+
+A log key identifies one external operation: ``(instance id, step)``.
+Inside a linked-DAAL row's ``RecentWrites`` map it is flattened to the
+string ``"<instance>#<step>"`` (map keys must be strings); in the read and
+invoke log tables it is the (hash, range) = (instance id, step) key pair,
+which lets the GC drop all of an instance's entries with one query.
+"""
+
+from __future__ import annotations
+
+SEPARATOR = "#"
+
+
+def encode(instance_id: str, step: int) -> str:
+    if SEPARATOR in instance_id:
+        raise ValueError(f"instance id may not contain {SEPARATOR!r}")
+    return f"{instance_id}{SEPARATOR}{step}"
+
+
+def decode(log_key: str) -> tuple[str, int]:
+    instance_id, _, step = log_key.rpartition(SEPARATOR)
+    return instance_id, int(step)
+
+
+def instance_of(log_key: str) -> str:
+    return log_key.rpartition(SEPARATOR)[0]

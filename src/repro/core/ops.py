@@ -1,0 +1,242 @@
+"""Exactly-once operation wrappers over the linked DAAL (§4.2-§4.4).
+
+Each wrapper pairs the externally visible effect with a log record so that
+re-executions (by the intent collector, or duplicate instances) observe
+"already done" and skip. Reads log value+step to the read log in a second,
+non-atomic step (a crash in between is safe — the unlogged read had no
+external effect); writes log *into the same row they modify*, which is the
+linked DAAL's whole reason to exist.
+
+The write-side case analysis follows Figures 6/7 and 17/18 exactly:
+
+====  ===========================================================
+Case  Candidate tail state
+====  ===========================================================
+A     operation already in this row's log -> return logged outcome
+B     not logged, log has space, no successor -> do it here
+(B1/B2 for conditional writes: user condition true/false)
+C     not logged, row full, successor exists -> follow the chain
+D     not logged, row full, no successor -> append a row, retry
+====  ===========================================================
+
+Cases are probed in transition-graph order (states with no incoming edges
+first), so a failed conditional write soundly eliminates its case even
+under concurrent mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core import daal
+from repro.core.errors import BeldiError
+from repro.core.logkeys import encode
+from repro.kvstore import (
+    And,
+    AttrNotExists,
+    ConditionFailed,
+    IfNotExists,
+    Plus,
+    Set,
+    Value,
+)
+from repro.kvstore.expressions import Condition, UpdateAction, path
+
+_MAX_CHAIN_STEPS = 10_000  # defensive bound; chains are GC-kept short
+
+
+def _log_write_updates(log_key: str, outcome: Any) -> list[UpdateAction]:
+    """SET actions that append one entry to a row's write log."""
+    return [
+        Set("LogSize", Plus(IfNotExists(path("LogSize"), Value(0)),
+                            Value(1))),
+        Set(path("RecentWrites", log_key), outcome),
+        daal.bump_version(),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# read (Fig. 5)
+# ---------------------------------------------------------------------------
+
+def read_op(ctx, table: str, key: Any, attribute: str = "Value") -> Any:
+    """Read the item's current ``attribute`` with exactly-once logging.
+
+    Returns :data:`daal.MISSING` when the item (or attribute) does not
+    exist. ``attribute`` is ``"Value"`` for data reads and ``"LockOwner"``
+    for the wait-die owner probe (Fig. 11 reads the lock column through
+    the same logged path).
+    """
+    step = ctx.next_step()
+    store = ctx.store
+    ctx.crash_point(f"read:{step}:start")
+    skeleton = daal.load_skeleton(store, table, key)
+    if not skeleton.exists:
+        value = daal.MISSING
+    else:
+        row = daal.read_row(store, table, key, skeleton.tail)
+        value = row.get(attribute, daal.MISSING) if row else daal.MISSING
+    ctx.crash_point(f"read:{step}:before-log")
+    try:
+        store.put(ctx.env.read_log,
+                  {"InstanceId": ctx.instance_id, "Step": step,
+                   "Value": value},
+                  condition=AttrNotExists("InstanceId"))
+        ctx.crash_point(f"read:{step}:after-log")
+        return value
+    except ConditionFailed:
+        record = store.get(ctx.env.read_log, (ctx.instance_id, step))
+        if record is None:
+            raise BeldiError(
+                "read log entry vanished mid-operation") from None
+        return record["Value"]
+
+
+def record_op(ctx, compute) -> Any:
+    """Log the result of a non-deterministic computation (§3.1).
+
+    First execution evaluates ``compute()`` and logs the result; replays
+    return the logged value, making things like fresh UUIDs and timestamps
+    deterministic under re-execution.
+    """
+    step = ctx.next_step()
+    store = ctx.store
+    existing = store.get(ctx.env.read_log, (ctx.instance_id, step))
+    if existing is not None:
+        return existing["Value"]
+    value = compute()
+    try:
+        store.put(ctx.env.read_log,
+                  {"InstanceId": ctx.instance_id, "Step": step,
+                   "Value": value},
+                  condition=AttrNotExists("InstanceId"))
+        return value
+    except ConditionFailed:
+        record = store.get(ctx.env.read_log, (ctx.instance_id, step))
+        return record["Value"] if record else value
+
+
+# ---------------------------------------------------------------------------
+# write (Fig. 6)
+# ---------------------------------------------------------------------------
+
+def write_op(ctx, table: str, key: Any, value: Any,
+             head_extra: Optional[dict] = None) -> None:
+    """Unconditional exactly-once write of ``Value``."""
+    step = ctx.next_step()
+    log_key = encode(ctx.instance_id, step)
+    store = ctx.store
+    ctx.crash_point(f"write:{step}:start")
+    skeleton = daal.load_skeleton(store, table, key, probe_log_key=log_key)
+    if skeleton.log_hits:
+        return  # case A found during the initial scan: already executed
+    if not skeleton.exists:
+        daal.ensure_head(store, table, key, extra_attrs=head_extra)
+        skeleton = daal.load_skeleton(store, table, key,
+                                      probe_log_key=log_key)
+        if skeleton.log_hits:
+            return
+    row_id = skeleton.tail
+    capacity = ctx.config.row_log_capacity
+    for _ in range(_MAX_CHAIN_STEPS):
+        ctx.crash_point(f"write:{step}:try:{row_id}")
+        try:
+            store.update(
+                table, (key, row_id),
+                [Set("Value", value), *_log_write_updates(log_key, True)],
+                condition=daal.case_b_condition(log_key, capacity))
+            ctx.crash_point(f"write:{step}:done")
+            return  # case B
+        except ConditionFailed:
+            pass
+        row = daal.read_row(store, table, key, row_id)
+        if row is None:
+            raise BeldiError(f"row {row_id} vanished during write")
+        if log_key in (row.get("RecentWrites") or {}):
+            return  # case A
+        if "NextRow" not in row:
+            row_id = daal.append_row(store, table, key, row,
+                                     ctx.fresh_row_id())  # case D
+        else:
+            row_id = row["NextRow"]  # case C
+    raise BeldiError("write did not terminate; chain unreasonably long")
+
+
+# ---------------------------------------------------------------------------
+# conditional write (Fig. 17)
+# ---------------------------------------------------------------------------
+
+def cond_write_op(ctx, table: str, key: Any,
+                  condition: Condition,
+                  value: Any = None,
+                  set_value: bool = True,
+                  extra_updates: Sequence[UpdateAction] = (),
+                  head_extra: Optional[dict] = None) -> bool:
+    """Exactly-once conditional write; returns the condition's outcome.
+
+    With ``set_value`` the success path sets ``Value``; lock acquisition
+    and release instead pass ``extra_updates`` mutating ``LockOwner``
+    (§6.1 stores lock ownership in the same rows, logged the same way).
+    The logged outcome (True/False) is what replays return — including the
+    B2 path that merely records a false condition.
+    """
+    step = ctx.next_step()
+    log_key = encode(ctx.instance_id, step)
+    store = ctx.store
+    ctx.crash_point(f"condwrite:{step}:start")
+    skeleton = daal.load_skeleton(store, table, key, probe_log_key=log_key)
+    if skeleton.log_hits:
+        return _only_hit(skeleton)  # case A via the initial scan
+    if not skeleton.exists:
+        daal.ensure_head(store, table, key, extra_attrs=head_extra)
+        skeleton = daal.load_skeleton(store, table, key,
+                                      probe_log_key=log_key)
+        if skeleton.log_hits:
+            return _only_hit(skeleton)
+    row_id = skeleton.tail
+    capacity = ctx.config.row_log_capacity
+    success_updates: list[UpdateAction] = []
+    if set_value:
+        success_updates.append(Set("Value", value))
+    success_updates.extend(extra_updates)
+    for _ in range(_MAX_CHAIN_STEPS):
+        ctx.crash_point(f"condwrite:{step}:try:{row_id}")
+        case_b = daal.case_b_condition(log_key, capacity)
+        try:
+            store.update(
+                table, (key, row_id),
+                [*success_updates, *_log_write_updates(log_key, True)],
+                condition=And(condition, case_b))
+            ctx.crash_point(f"condwrite:{step}:done")
+            return True  # case B1
+        except ConditionFailed:
+            pass
+        # The serialization point is the attempt above: recording False
+        # here is valid even if the user condition has become true since
+        # (Appendix A).
+        try:
+            store.update(
+                table, (key, row_id),
+                _log_write_updates(log_key, False),
+                condition=case_b)
+            ctx.crash_point(f"condwrite:{step}:done")
+            return False  # case B2
+        except ConditionFailed:
+            pass
+        row = daal.read_row(store, table, key, row_id)
+        if row is None:
+            raise BeldiError(f"row {row_id} vanished during condWrite")
+        writes = row.get("RecentWrites") or {}
+        if log_key in writes:
+            return bool(writes[log_key])  # case A
+        if "NextRow" not in row:
+            row_id = daal.append_row(store, table, key, row,
+                                     ctx.fresh_row_id())  # case D
+        else:
+            row_id = row["NextRow"]  # case C
+    raise BeldiError("condWrite did not terminate; chain unreasonably long")
+
+
+def _only_hit(skeleton: daal.Skeleton) -> bool:
+    outcome = next(iter(skeleton.log_hits.values()))
+    return bool(outcome)

@@ -1,0 +1,300 @@
+"""The Beldi runtime: SSF registration and the instance lifecycle.
+
+``BeldiRuntime`` wires the substrates together (kernel, store, platform)
+and wraps every registered SSF handler with the protocol from §3.3/§4.5:
+
+1. resolve the instance id (caller-assigned, or the platform request id
+   for workflow roots) and ensure the intent record,
+2. short-circuit if the intent is already done (re-issuing the callback),
+3. run the user handler with a :class:`BeldiContext` — every operation
+   inside replays from logs on re-execution,
+4. deliver the result to the caller via the callback, and only then
+5. mark the intent done.
+
+The same wrapper dispatches the auxiliary message kinds: synchronous and
+asynchronous callbacks, async registrations (Fig. 20), and transaction
+Commit/Abort signals (§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core import intents, invoke
+from repro.core.config import BeldiConfig
+from repro.core.context import BeldiContext
+from repro.core.env import BeldiEnv
+from repro.core.errors import TxnAborted
+from repro.core.txn import (
+    ABORT,
+    COMMIT,
+    TxnContext,
+    propagate_signal,
+    resolve_local,
+)
+from repro.kvstore import KVStore, KernelTimeSource
+from repro.platform import PlatformConfig, ServerlessPlatform
+from repro.platform.context import InvocationContext
+from repro.platform.errors import (
+    FunctionCrashed,
+    FunctionTimeout,
+    TooManyRequests,
+)
+from repro.sim.kernel import SimKernel
+from repro.sim.latency import LatencyModel
+from repro.sim.randsrc import RandomSource
+
+UserHandler = Callable[[BeldiContext, Any], Any]
+
+
+@dataclass
+class SSFDefinition:
+    name: str
+    handler: UserHandler
+    env: BeldiEnv
+
+
+class BeldiRuntime:
+    """Wires kernel + store + platform and hosts SSFs."""
+
+    def __init__(self, kernel: Optional[SimKernel] = None,
+                 seed: int = 0,
+                 latency_scale: float = 0.0,
+                 config: Optional[BeldiConfig] = None,
+                 platform_config: Optional[PlatformConfig] = None,
+                 store: Optional[KVStore] = None,
+                 platform: Optional[ServerlessPlatform] = None) -> None:
+        self.kernel = kernel or SimKernel(seed=seed)
+        self.rand = RandomSource(seed, "beldi")
+        self.config = config or BeldiConfig()
+        latency = LatencyModel(self.rand.child("latency"),
+                               scale=latency_scale)
+        self.store = store or KVStore(
+            time_source=KernelTimeSource(self.kernel),
+            latency=latency, rand=self.rand.child("store"))
+        self.platform = platform or ServerlessPlatform(
+            self.kernel, rand=self.rand.child("platform"),
+            latency=latency, config=platform_config)
+        self._ids = self.rand.child("ids")
+        self.envs: dict[str, BeldiEnv] = {}
+        self.ssfs: dict[str, SSFDefinition] = {}
+        self.collector_handles: list[dict] = []
+
+    # -- identities ----------------------------------------------------------
+    def fresh_uuid(self) -> str:
+        return self._ids.uuid()
+
+    # -- registration ----------------------------------------------------------
+    def create_env(self, name: str, tables: Iterable[str] = (),
+                   storage_mode: str = "daal") -> BeldiEnv:
+        """Create a sovereignty domain (one intent/log/table set, §2.2)."""
+        if name in self.envs:
+            raise ValueError(f"env {name!r} already exists")
+        env = BeldiEnv(self.store, self.config, name, tables,
+                       storage_mode=storage_mode)
+        self.envs[name] = env
+        return env
+
+    def register_ssf(self, name: str, handler: UserHandler,
+                     env: Optional[BeldiEnv] = None,
+                     tables: Iterable[str] = (),
+                     storage_mode: str = "daal") -> SSFDefinition:
+        """Register an SSF; creates a private env unless one is shared."""
+        if env is None:
+            env = self.create_env(name, tables, storage_mode=storage_mode)
+        ssf = SSFDefinition(name, handler, env)
+        self.ssfs[name] = ssf
+        self.platform.register(name, self._make_platform_handler(ssf))
+        return ssf
+
+    # -- collectors -----------------------------------------------------------------
+    def start_collectors(self, ic_period: float = 60_000.0,
+                         gc_period: float = 60_000.0,
+                         envs: Optional[Iterable[BeldiEnv]] = None) -> None:
+        """Register and schedule the IC/GC pair for each env (§3.3, §5)."""
+        from repro.core.collector import make_intent_collector
+        from repro.core.gc import make_garbage_collector
+        for env in (envs if envs is not None else self.envs.values()):
+            ic_name = f"{env.name}.ic"
+            gc_name = f"{env.name}.gc"
+            if not self.platform.is_registered(ic_name):
+                self.platform.register(
+                    ic_name, make_intent_collector(self, env))
+                self.platform.register(
+                    gc_name, make_garbage_collector(self, env))
+            self.collector_handles.append(
+                self.platform.add_timer(ic_name, ic_period))
+            self.collector_handles.append(
+                self.platform.add_timer(gc_name, gc_period))
+
+    def stop_collectors(self) -> None:
+        self.platform.stop_timers()
+
+    # -- client entry ------------------------------------------------------------------
+    def client_call(self, ssf_name: str, payload: Any = None) -> Any:
+        """Issue a workflow request through the gateway (from a process)."""
+        return self.platform.client_request(
+            ssf_name, {"kind": "call", "input": payload})
+
+    def run_workflow(self, ssf_name: str, payload: Any = None,
+                     until: Optional[float] = None) -> Any:
+        """Drive the kernel through one client request (test/demo sugar)."""
+        box: dict[str, Any] = {}
+
+        def client() -> None:
+            box["result"] = self.client_call(ssf_name, payload)
+
+        proc = self.kernel.spawn(client, name="client")
+        self.kernel.run(until=until)
+        if proc.error is not None:
+            raise proc.error
+        return box.get("result")
+
+    # -- the instance lifecycle -----------------------------------------------------------
+    def _make_platform_handler(self, ssf: SSFDefinition):
+        def handler(platform_ctx: InvocationContext, payload: Any) -> Any:
+            payload = payload or {}
+            kind = payload.get("kind", "call")
+            if kind == "call":
+                return self._handle_call(ssf, platform_ctx, payload)
+            if kind == "sync_callback":
+                return self._handle_callback(ssf, payload,
+                                             payload.get("result"))
+            if kind == "async_callback":
+                return self._handle_callback(ssf, payload,
+                                             invoke.ASYNC_ACK)
+            if kind == "async_register":
+                return self._handle_async_register(ssf, platform_ctx,
+                                                   payload)
+            if kind == "txn_signal":
+                return self._handle_txn_signal(ssf, platform_ctx, payload)
+            raise ValueError(f"unknown payload kind {kind!r}")
+
+        return handler
+
+    def _handle_call(self, ssf: SSFDefinition,
+                     platform_ctx: InvocationContext, payload: dict) -> Any:
+        env = ssf.env
+        instance_id = payload.get("instance_id") or platform_ctx.request_id
+        is_async = bool(payload.get("async"))
+        caller = payload.get("caller")
+        txn_payload = payload.get("txn")
+        if is_async:
+            # Fig. 20 stub: run only if registered and unfinished.
+            intent = intents.get_intent(env, instance_id)
+            if intent is None or intent.get("Done"):
+                return None
+        else:
+            intent, _created = intents.ensure_intent(
+                env, instance_id, ssf.name, payload.get("input"),
+                self.kernel.now, is_async, caller, txn_payload)
+            if intent.get("Done"):
+                # Late duplicate: the work is complete; make sure the
+                # caller has the result, then return it.
+                ret = intent.get("Ret")
+                if intent.get("Caller"):
+                    self._issue_callback(platform_ctx, intent["Caller"],
+                                         instance_id, ret)
+                return ret
+        platform_ctx.crash_point("intent:ensured")
+        stored_txn = intent.get("Txn")
+        txn_ctx = (TxnContext.from_payload(stored_txn)
+                   if stored_txn else None)
+        ctx = BeldiContext(self, ssf.name, env, platform_ctx, instance_id,
+                           intent, txn=txn_ctx)
+        aborted = False
+        try:
+            ret = ssf.handler(ctx, intent.get("Args"))
+        except TxnAborted:
+            # A non-owner dying under wait-die: report the abort outcome
+            # to the caller; the owning SSF coordinates the rollback.
+            aborted = True
+            ret = None
+        platform_ctx.crash_point("body:done")
+        result = invoke.wrap_result(ret, aborted)
+        effective_caller = intent.get("Caller") or caller
+        if effective_caller and not is_async:
+            self._issue_callback(platform_ctx, effective_caller,
+                                 instance_id, result)
+            platform_ctx.crash_point("callback:done")
+        intents.mark_done(env, instance_id, result)
+        platform_ctx.crash_point("done:marked")
+        return result
+
+    def _issue_callback(self, platform_ctx: InvocationContext,
+                        caller: dict, callee_id: str, result: Any) -> None:
+        """Deliver the result into the caller's invoke log (at-least-once)."""
+        payload = {
+            "kind": "sync_callback",
+            "log_instance": caller["instance_id"],
+            "log_step": caller["step"],
+            "callee_id": callee_id,
+            "result": result,
+        }
+        self._retry_invoke(platform_ctx, caller["ssf"], payload)
+
+    def _retry_invoke(self, platform_ctx: InvocationContext, target: str,
+                      payload: dict) -> Any:
+        attempts = 0
+        while True:
+            try:
+                return platform_ctx.sync_invoke(target, payload)
+            except (FunctionCrashed, FunctionTimeout, TooManyRequests):
+                attempts += 1
+                if attempts > self.config.invoke_retry_limit:
+                    raise
+                self.kernel.sleep(
+                    self.config.invoke_retry_backoff * attempts)
+
+    def _handle_callback(self, ssf: SSFDefinition, payload: dict,
+                         result: Any) -> str:
+        recorded = invoke.record_callback(
+            ssf.env, ssf.env.store, payload["log_instance"],
+            payload["log_step"], payload["callee_id"], result)
+        return "recorded" if recorded else "ignored"
+
+    def _handle_async_register(self, ssf: SSFDefinition,
+                               platform_ctx: InvocationContext,
+                               payload: dict) -> str:
+        """Fig. 20 registration: log the intent, ack into the caller."""
+        env = ssf.env
+        instance_id = payload["instance_id"]
+        caller = payload.get("caller")
+        intents.ensure_intent(env, instance_id, ssf.name,
+                              payload.get("input"), self.kernel.now,
+                              True, caller, None)
+        platform_ctx.crash_point("async-register:intent")
+        if caller:
+            ack = {
+                "kind": "async_callback",
+                "log_instance": caller["instance_id"],
+                "log_step": caller["step"],
+                "callee_id": instance_id,
+            }
+            self._retry_invoke(platform_ctx, caller["ssf"], ack)
+        return "registered"
+
+    def _handle_txn_signal(self, ssf: SSFDefinition,
+                           platform_ctx: InvocationContext,
+                           payload: dict) -> str:
+        """Commit/Abort arriving along a workflow edge (§6.2).
+
+        Idempotent: resolve this SSF's local state for the transaction,
+        then recurse to the callees recorded in the instance's invoke log.
+        """
+        env = ssf.env
+        instance_id = payload["instance_id"]
+        txn_payload = payload["txn"]
+        mode = txn_payload.get("mode")
+        if mode not in (COMMIT, ABORT):
+            raise ValueError(f"bad txn_signal mode {mode!r}")
+        resolve_local(env, txn_payload["id"], mode)
+        # Recurse using a minimal context (no intent bookkeeping needed:
+        # signals are at-least-once and idempotent).
+        intent = intents.get_intent(env, instance_id) or {
+            "InstanceId": instance_id, "StartTime": 0.0}
+        ctx = BeldiContext(self, ssf.name, env, platform_ctx, instance_id,
+                           intent)
+        propagate_signal(ctx, instance_id, txn_payload)
+        return "resolved"

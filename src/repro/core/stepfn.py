@@ -1,0 +1,145 @@
+"""Step-function workflows (§2.1, §6.2 "Supporting step functions").
+
+The paper's second composition mechanism besides driver functions: a
+declarative graph of SSFs that the provider schedules. Here a step
+function compiles to a generated *driver SSF* running on Beldi — which
+gives the orchestration itself exactly-once semantics for free (every
+task invocation goes through the invoke log), and lets a
+:class:`TxnScope` reproduce Fig. 21's begin/end topology: tasks inside
+the scope share one transaction context, an abort anywhere propagates to
+the scope's end, and the commit/abort decision then flows back over the
+subgraph (the paper's 2PC-over-workflow-edges).
+
+State types
+-----------
+``Task(name, ssf)``
+    Invoke one SSF. Its payload is built by ``payload`` (a function of
+    the accumulated results dict) or defaults to the workflow input.
+``Parallel(branches)``
+    Run several state lists concurrently and join (uses
+    ``ctx.parallel_invoke`` under the hood for leaf fan-outs).
+``TxnScope(body)``
+    Execute ``body`` inside one transaction (Fig. 21's begin/end pair).
+
+Results accumulate in a dict keyed by task name; the driver returns it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Union
+
+from repro.core.errors import TxnAborted
+
+
+@dataclass
+class Task:
+    """One SSF invocation in the workflow."""
+
+    name: str
+    ssf: str
+    payload: Optional[Callable[[dict], Any]] = None
+
+    def build_payload(self, results: dict) -> Any:
+        if self.payload is not None:
+            return self.payload(results)
+        return results.get("__input__")
+
+
+@dataclass
+class Parallel:
+    """Fan-out over branches; each branch is a list of states."""
+
+    branches: Sequence[Sequence["State"]]
+
+
+@dataclass
+class TxnScope:
+    """A transactional subgraph (the begin/end SSF pair of Fig. 21)."""
+
+    body: Sequence["State"]
+    on_abort: Optional[str] = None  # result key receiving the outcome
+
+
+State = Union[Task, Parallel, TxnScope]
+
+
+@dataclass
+class StepFunction:
+    """A named workflow over SSF identifiers."""
+
+    name: str
+    states: Sequence[State]
+    ssf_count: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.ssf_count = _count_tasks(self.states)
+
+
+def _count_tasks(states: Sequence[State]) -> int:
+    total = 0
+    for state in states:
+        if isinstance(state, Task):
+            total += 1
+        elif isinstance(state, Parallel):
+            total += sum(_count_tasks(b) for b in state.branches)
+        elif isinstance(state, TxnScope):
+            total += _count_tasks(state.body)
+    return total
+
+
+def _execute_states(ctx, states: Sequence[State], results: dict) -> None:
+    for state in states:
+        if isinstance(state, Task):
+            payload = state.build_payload(results)
+            results[state.name] = ctx.sync_invoke(state.ssf, payload)
+        elif isinstance(state, Parallel):
+            _execute_parallel(ctx, state, results)
+        elif isinstance(state, TxnScope):
+            _execute_txn_scope(ctx, state, results)
+        else:
+            raise TypeError(f"unknown state {state!r}")
+
+
+def _execute_parallel(ctx, state: Parallel, results: dict) -> None:
+    simple = all(len(branch) == 1 and isinstance(branch[0], Task)
+                 for branch in state.branches)
+    if simple:
+        tasks = [branch[0] for branch in state.branches]
+        calls = [(task.ssf, task.build_payload(results))
+                 for task in tasks]
+        outputs = ctx.parallel_invoke(calls)
+        for task, output in zip(tasks, outputs):
+            results[task.name] = output
+    else:
+        # Nested branches run sequentially (deterministic order); the
+        # leaf fan-outs inside still parallelize.
+        for branch in state.branches:
+            _execute_states(ctx, branch, results)
+
+
+def _execute_txn_scope(ctx, state: TxnScope, results: dict) -> None:
+    with ctx.transaction() as tx:
+        _execute_states(ctx, state.body, results)
+    if state.on_abort is not None:
+        results[state.on_abort] = tx.outcome
+    elif tx.aborted:
+        raise TxnAborted("step-function transaction scope aborted")
+
+
+def make_driver(step_function: StepFunction):
+    """Compile the workflow to a Beldi SSF handler."""
+
+    def driver(ctx, payload: Any) -> dict:
+        results: dict = {"__input__": payload}
+        _execute_states(ctx, step_function.states, results)
+        results.pop("__input__", None)
+        return results
+
+    return driver
+
+
+def register_step_function(runtime, step_function: StepFunction):
+    """Register the compiled driver on a runtime; returns its SSF."""
+    return runtime.register_ssf(step_function.name,
+                                make_driver(step_function))

@@ -1,0 +1,88 @@
+"""A DynamoDB-like NoSQL key-value store (substrate).
+
+Beldi assumes only a handful of storage properties (§2.2 of the paper):
+strong consistency, fault tolerance, atomic conditional updates at a row
+atomicity scope, and scans with filters and projections. This package
+implements exactly that feature set, in-memory, with:
+
+- tables keyed by a hash key and an optional range (sort) key,
+- a condition/update expression language (attribute_not_exists, comparisons,
+  SET/REMOVE/ADD over nested attribute paths),
+- queries and scans with filter, projection, limit, and pagination,
+- sparse global secondary indexes,
+- per-item size limits (DynamoDB's 400 KB row cap is what motivates the
+  linked DAAL in the first place),
+- optional cross-table transactional writes (used only by the paper's
+  "cross-table txn" baseline variant),
+- request metering (read/write units, bytes moved, storage) so the paper's
+  §7.3 cost analysis can be regenerated, and
+- a pluggable time source so operations consume calibrated virtual latency
+  when run under the simulation kernel.
+"""
+
+from repro.kvstore.errors import (
+    ConditionFailed,
+    ItemTooLarge,
+    KVStoreError,
+    TableExists,
+    TableNotFound,
+    ThrottledError,
+    TransactionCanceled,
+)
+from repro.kvstore.expressions import (
+    Add,
+    And,
+    AttrExists,
+    AttrNotExists,
+    BeginsWith,
+    Between,
+    Contains,
+    Delete,
+    Eq,
+    Ge,
+    Gt,
+    IfNotExists,
+    In,
+    Le,
+    ListAppend,
+    Lt,
+    Minus,
+    Ne,
+    Not,
+    Or,
+    Path,
+    PathRef,
+    Plus,
+    Remove,
+    Set,
+    SizeEq,
+    SizeGe,
+    SizeGt,
+    SizeLe,
+    SizeLt,
+    Value,
+    path,
+)
+from repro.kvstore.item import item_size
+from repro.kvstore.metering import Metering
+from repro.kvstore.store import (
+    KernelTimeSource,
+    KVStore,
+    NullTimeSource,
+    TransactDelete,
+    TransactPut,
+    TransactUpdate,
+)
+from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
+
+__all__ = [
+    "Add", "And", "AttrExists", "AttrNotExists", "BeginsWith", "Between",
+    "ConditionFailed", "Contains", "Delete", "Eq", "Ge", "Gt", "IfNotExists",
+    "In", "ItemTooLarge", "KVStore", "KVStoreError", "KernelTimeSource",
+    "KeySchema", "Le", "ListAppend", "Lt", "Metering", "Minus", "Ne", "Not",
+    "NullTimeSource", "Or", "Path", "PathRef", "Plus", "QueryResult",
+    "Remove", "ScanResult", "Set", "SizeEq", "SizeGe", "SizeGt", "SizeLe",
+    "SizeLt", "Table", "TableExists", "TableNotFound", "ThrottledError",
+    "TransactDelete", "TransactPut", "TransactUpdate", "TransactionCanceled",
+    "Value", "item_size", "path",
+]

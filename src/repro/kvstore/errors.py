@@ -1,0 +1,44 @@
+"""Error types raised by the NoSQL store."""
+
+from __future__ import annotations
+
+
+class KVStoreError(Exception):
+    """Base class for all store errors."""
+
+
+class TableNotFound(KVStoreError):
+    """Referenced table does not exist."""
+
+
+class TableExists(KVStoreError):
+    """Attempt to create a table that already exists."""
+
+
+class ConditionFailed(KVStoreError):
+    """A conditional put/update/delete's condition evaluated to false.
+
+    Mirrors DynamoDB's ``ConditionalCheckFailedException``; Beldi's
+    lock-free algorithms branch on this error rather than treating it as a
+    failure.
+    """
+
+
+class TransactionCanceled(KVStoreError):
+    """A cross-table transactional write had a failing condition."""
+
+
+class ItemTooLarge(KVStoreError):
+    """Item exceeds the per-row size cap (DynamoDB: 400 KB).
+
+    This limit is why Olive's single-row DAAL cannot hold unbounded logs
+    and why Beldi introduces the *linked* DAAL (§4.1).
+    """
+
+
+class ThrottledError(KVStoreError):
+    """Injected throughput throttling (fault injection)."""
+
+
+class ValidationError(KVStoreError):
+    """Malformed request: bad key, bad expression, wrong types."""

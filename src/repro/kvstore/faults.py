@@ -1,0 +1,42 @@
+"""Store-level fault injection: throttling and latency spikes.
+
+These model the *environment* faults a DynamoDB client sees (throughput
+throttling, tail latency), as opposed to the SSF crash faults injected by
+``repro.platform.crashes``. The store itself is always durable and strongly
+consistent — exactly the paper's assumption (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.randsrc import RandomSource
+
+
+@dataclass
+class FaultPolicy:
+    """Probabilistic fault model applied per store operation.
+
+    throttle_probability:
+        Chance an operation raises :class:`ThrottledError` before running.
+    spike_probability / spike_multiplier:
+        Chance an operation's latency is multiplied (tail injection).
+    """
+
+    throttle_probability: float = 0.0
+    spike_probability: float = 0.0
+    spike_multiplier: float = 10.0
+
+    def should_throttle(self, rand: RandomSource) -> bool:
+        return (self.throttle_probability > 0
+                and rand.random() < self.throttle_probability)
+
+    def latency_multiplier(self, rand: RandomSource) -> float:
+        if self.spike_probability > 0 and rand.random() < (
+                self.spike_probability):
+            return self.spike_multiplier
+        return 1.0
+
+
+NO_FAULTS: Optional[FaultPolicy] = None

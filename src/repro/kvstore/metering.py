@@ -1,0 +1,121 @@
+"""Request metering: read/write units, bytes moved, dollar estimates.
+
+The paper's §7.3 reports Beldi's overheads in storage bytes, network bytes
+fetched by scans, and marginal dollar cost per operation in DynamoDB's
+on-demand mode ($2.5e-7 per read, $1.25e-6 per write). This module meters
+every store operation so those numbers can be regenerated from a run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+READ_UNIT_BYTES = 4 * 1024
+WRITE_UNIT_BYTES = 1024
+# On-demand pricing used in the paper (us-east-1, 2020).
+DOLLARS_PER_READ_UNIT = 2.5e-7
+DOLLARS_PER_WRITE_UNIT = 1.25e-6
+
+
+@dataclass
+class OpRecord:
+    """Counters for one operation kind."""
+
+    count: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_units: float = 0.0
+    write_units: float = 0.0
+
+
+@dataclass
+class Metering:
+    """Accumulates per-operation counters for a store."""
+
+    ops: dict = field(default_factory=dict)
+    per_table: Counter = field(default_factory=Counter)
+    enabled: bool = True
+
+    def record_read(self, op: str, table: str, nbytes: int,
+                    items: int = 1) -> None:
+        if not self.enabled:
+            return
+        rec = self.ops.setdefault(op, OpRecord())
+        rec.count += 1
+        rec.bytes_read += nbytes
+        units = max(items, 1) * max(1.0, nbytes / READ_UNIT_BYTES / max(
+            items, 1))
+        rec.read_units += units
+        self.per_table[table] += 1
+
+    def record_write(self, op: str, table: str, nbytes: int) -> None:
+        if not self.enabled:
+            return
+        rec = self.ops.setdefault(op, OpRecord())
+        rec.count += 1
+        rec.bytes_written += nbytes
+        rec.write_units += max(1.0, nbytes / WRITE_UNIT_BYTES)
+        self.per_table[table] += 1
+
+    # -- rollups --------------------------------------------------------------
+    def total(self, field_name: str) -> float:
+        return sum(getattr(rec, field_name) for rec in self.ops.values())
+
+    @property
+    def op_count(self) -> int:
+        return int(self.total("count"))
+
+    @property
+    def bytes_read(self) -> int:
+        return int(self.total("bytes_read"))
+
+    @property
+    def bytes_written(self) -> int:
+        return int(self.total("bytes_written"))
+
+    def dollar_cost(self) -> float:
+        """Marginal request cost in on-demand mode."""
+        return (self.total("read_units") * DOLLARS_PER_READ_UNIT
+                + self.total("write_units") * DOLLARS_PER_WRITE_UNIT)
+
+    def snapshot(self) -> dict:
+        """A plain-dict view, convenient for bench reporting."""
+        return {
+            op: {
+                "count": rec.count,
+                "bytes_read": rec.bytes_read,
+                "bytes_written": rec.bytes_written,
+                "read_units": round(rec.read_units, 3),
+                "write_units": round(rec.write_units, 3),
+            }
+            for op, rec in sorted(self.ops.items())
+        }
+
+    def diff(self, baseline: "Metering") -> dict:
+        """Counters accumulated since ``baseline`` was snapshotted."""
+        out: dict = {}
+        for op, rec in self.ops.items():
+            base = baseline.ops.get(op, OpRecord())
+            delta = OpRecord(
+                count=rec.count - base.count,
+                bytes_read=rec.bytes_read - base.bytes_read,
+                bytes_written=rec.bytes_written - base.bytes_written,
+                read_units=rec.read_units - base.read_units,
+                write_units=rec.write_units - base.write_units)
+            if delta.count:
+                out[op] = delta
+        return out
+
+    def copy(self) -> "Metering":
+        clone = Metering(enabled=self.enabled)
+        for op, rec in self.ops.items():
+            clone.ops[op] = OpRecord(rec.count, rec.bytes_read,
+                                     rec.bytes_written, rec.read_units,
+                                     rec.write_units)
+        clone.per_table = Counter(self.per_table)
+        return clone
+
+    def reset(self) -> None:
+        self.ops.clear()
+        self.per_table.clear()

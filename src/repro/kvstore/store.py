@@ -1,0 +1,309 @@
+"""The store facade: tables + virtual latency + metering + faults.
+
+``KVStore`` is what every other layer talks to. Each public operation:
+
+1. optionally consults the fault policy (throttling, latency spikes),
+2. sleeps a calibrated virtual latency through the time source,
+3. performs the atomic table operation,
+4. meters the bytes and request units consumed.
+
+With a :class:`NullTimeSource` (the default) the store runs synchronously
+with zero latency — unit tests use it directly without a kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Union
+
+from repro.kvstore.errors import (
+    TableExists,
+    TableNotFound,
+    ThrottledError,
+    TransactionCanceled,
+    ConditionFailed,
+)
+from repro.kvstore.expressions import Condition, Projection, UpdateAction
+from repro.kvstore.faults import FaultPolicy
+from repro.kvstore.item import item_size
+from repro.kvstore.metering import Metering
+from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
+from repro.sim.kernel import SimKernel
+from repro.sim.latency import LatencyModel
+from repro.sim.randsrc import RandomSource
+
+
+class TimeSource:
+    """Protocol: provides virtual time passage for store operations."""
+
+    def sleep(self, duration: float) -> None:
+        raise NotImplementedError
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class NullTimeSource(TimeSource):
+    """Zero-latency time source for direct (non-simulated) use."""
+
+    def __init__(self) -> None:
+        self._ticks = 0.0
+
+    def sleep(self, duration: float) -> None:
+        self._ticks += duration
+
+    def now(self) -> float:
+        return self._ticks
+
+
+class KernelTimeSource(TimeSource):
+    """Time source backed by the simulation kernel (virtual ms)."""
+
+    def __init__(self, kernel: SimKernel) -> None:
+        self.kernel = kernel
+
+    def sleep(self, duration: float) -> None:
+        if duration > 0 and self.kernel.current_process is not None:
+            self.kernel.sleep(duration)
+
+    def now(self) -> float:
+        return self.kernel.now
+
+
+@dataclass(frozen=True)
+class TransactPut:
+    table: str
+    item: dict
+    condition: Optional[Condition] = None
+
+
+@dataclass(frozen=True)
+class TransactUpdate:
+    table: str
+    key: Any
+    updates: Sequence[UpdateAction]
+    condition: Optional[Condition] = None
+
+
+@dataclass(frozen=True)
+class TransactDelete:
+    table: str
+    key: Any
+    condition: Optional[Condition] = None
+
+
+TransactOp = Union[TransactPut, TransactUpdate, TransactDelete]
+
+
+class KVStore:
+    """A collection of tables behind one latency/metering boundary."""
+
+    def __init__(self, time_source: Optional[TimeSource] = None,
+                 latency: Optional[LatencyModel] = None,
+                 rand: Optional[RandomSource] = None,
+                 faults: Optional[FaultPolicy] = None) -> None:
+        self.time = time_source or NullTimeSource()
+        self.latency = latency or LatencyModel.zero()
+        self.rand = rand or RandomSource(0, "kvstore")
+        self.faults = faults
+        self.metering = Metering()
+        self._tables: dict[str, Table] = {}
+
+    # -- table management ------------------------------------------------------
+    def create_table(self, name: str, hash_key: str,
+                     range_key: Optional[str] = None,
+                     max_item_bytes: Optional[int] = None) -> Table:
+        if name in self._tables:
+            raise TableExists(f"table {name!r} already exists")
+        kwargs = {}
+        if max_item_bytes is not None:
+            kwargs["max_item_bytes"] = max_item_bytes
+        table = Table(name, KeySchema(hash_key, range_key), **kwargs)
+        self._tables[name] = table
+        return table
+
+    def ensure_table(self, name: str, hash_key: str,
+                     range_key: Optional[str] = None,
+                     max_item_bytes: Optional[int] = None) -> Table:
+        if name in self._tables:
+            return self._tables[name]
+        return self.create_table(name, hash_key, range_key, max_item_bytes)
+
+    def table(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            raise TableNotFound(f"no table named {name!r}")
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- latency/fault boundary --------------------------------------------------
+    def _pay(self, op: str, units: float = 0.0) -> None:
+        multiplier = 1.0
+        if self.faults is not None:
+            if self.faults.should_throttle(self.rand):
+                raise ThrottledError(f"{op} throttled")
+            multiplier = self.faults.latency_multiplier(self.rand)
+        self.time.sleep(self.latency.sample(op, units=units) * multiplier)
+
+    # -- point ops ---------------------------------------------------------------
+    def get(self, table: str, key: Any,
+            projection: Optional[Projection] = None) -> Optional[dict]:
+        tbl = self.table(table)
+        self._pay("db.read")
+        item = tbl.get(key, projection=projection)
+        nbytes = item_size(item) if item else 0
+        self.metering.record_read("read", table, nbytes)
+        return item
+
+    def put(self, table: str, item: dict,
+            condition: Optional[Condition] = None) -> None:
+        tbl = self.table(table)
+        op = "db.cond_write" if condition is not None else "db.write"
+        self._pay(op)
+        tbl.put(item, condition=condition)
+        self.metering.record_write(
+            "cond_write" if condition is not None else "write",
+            table, item_size(item))
+
+    def update(self, table: str, key: Any,
+               updates: Sequence[UpdateAction],
+               condition: Optional[Condition] = None) -> dict:
+        tbl = self.table(table)
+        op = "db.cond_write" if condition is not None else "db.write"
+        self._pay(op)
+        new_item = tbl.update(key, updates, condition=condition)
+        self.metering.record_write(
+            "cond_write" if condition is not None else "write",
+            table, item_size(new_item))
+        return new_item
+
+    def delete(self, table: str, key: Any,
+               condition: Optional[Condition] = None) -> Optional[dict]:
+        tbl = self.table(table)
+        self._pay("db.delete")
+        removed = tbl.delete(key, condition=condition)
+        self.metering.record_write("delete", table,
+                                   item_size(removed) if removed else 0)
+        return removed
+
+    # -- queries/scans --------------------------------------------------------------
+    def query(self, table: str, hash_value: Any,
+              range_condition: Optional[Condition] = None,
+              filter_condition: Optional[Condition] = None,
+              projection: Optional[Projection] = None,
+              limit: Optional[int] = None,
+              exclusive_start: Optional[Any] = None,
+              reverse: bool = False) -> QueryResult:
+        tbl = self.table(table)
+        result = tbl.query(hash_value, range_condition=range_condition,
+                           filter_condition=filter_condition,
+                           projection=projection, limit=limit,
+                           exclusive_start=exclusive_start, reverse=reverse)
+        self._pay("db.query", units=result.scanned_count)
+        self.metering.record_read("query", table, result.consumed_bytes,
+                                  items=max(1, result.scanned_count))
+        return result
+
+    def scan(self, table: str,
+             filter_condition: Optional[Condition] = None,
+             projection: Optional[Projection] = None,
+             limit: Optional[int] = None,
+             exclusive_start: Optional[Any] = None) -> ScanResult:
+        tbl = self.table(table)
+        result = tbl.scan(filter_condition=filter_condition,
+                          projection=projection, limit=limit,
+                          exclusive_start=exclusive_start)
+        self._pay("db.scan", units=result.scanned_count)
+        self.metering.record_read("scan", table, result.consumed_bytes,
+                                  items=max(1, result.scanned_count))
+        return result
+
+    def query_index(self, table: str, index_name: str, value: Any,
+                    projection: Optional[Projection] = None) -> list[dict]:
+        tbl = self.table(table)
+        items = tbl.query_index(index_name, value, projection=projection)
+        self._pay("db.query", units=len(items))
+        nbytes = sum(item_size(it) for it in items)
+        self.metering.record_read("query_index", table, nbytes,
+                                  items=max(1, len(items)))
+        return items
+
+    # -- cross-table transactions ------------------------------------------------------
+    def transact_write(self, ops: Sequence[TransactOp]) -> None:
+        """All-or-nothing conditional writes across tables.
+
+        Models DynamoDB ``TransactWriteItems``; used only by the paper's
+        cross-table-transaction baseline variant (Figs. 13 and 16), never by
+        Beldi's linked-DAAL path.
+        """
+        if not ops:
+            return
+        self._pay("db.txn", units=len(ops))
+        tables = [self.table(op.table) for op in ops]
+        # Acquire in deterministic order to avoid lock-order inversion.
+        unique = {id(t): t for t in tables}
+        ordered = sorted(unique.values(), key=lambda t: t.name)
+        acquired = []
+        try:
+            for tbl in ordered:
+                tbl._lock.acquire()
+                acquired.append(tbl)
+            self._transact_locked(ops)
+        finally:
+            for tbl in reversed(acquired):
+                tbl._lock.release()
+
+    def _transact_locked(self, ops: Sequence[TransactOp]) -> None:
+        # Phase 1: check all conditions against current state.
+        for op in ops:
+            tbl = self.table(op.table)
+            if isinstance(op, TransactPut):
+                existing = tbl.get(tbl.schema.extract(op.item))
+            else:
+                existing = tbl.get(op.key)
+            if op.condition is not None and not op.condition.evaluate(
+                    existing):
+                raise TransactionCanceled(
+                    f"condition failed on {op.table}")
+        # Phase 2: apply (conditions re-checked by the table; they cannot
+        # fail because we hold every table lock).
+        total_bytes = 0
+        for op in ops:
+            tbl = self.table(op.table)
+            if isinstance(op, TransactPut):
+                tbl.put(op.item, condition=op.condition)
+                total_bytes += item_size(op.item)
+            elif isinstance(op, TransactUpdate):
+                new_item = tbl.update(op.key, op.updates,
+                                      condition=op.condition)
+                total_bytes += item_size(new_item)
+            else:
+                tbl.delete(op.key, condition=op.condition)
+        self.metering.record_write("transact_write", ops[0].table,
+                                   total_bytes)
+
+    # -- stats ---------------------------------------------------------------------------
+    def storage_bytes(self, table: Optional[str] = None) -> int:
+        if table is not None:
+            return self.table(table).storage_bytes()
+        return sum(t.storage_bytes() for t in self._tables.values())
+
+    def item_count(self, table: str) -> int:
+        return self.table(table).item_count()
+
+
+__all__ = [
+    "ConditionFailed",
+    "KVStore",
+    "KernelTimeSource",
+    "NullTimeSource",
+    "TimeSource",
+    "TransactDelete",
+    "TransactPut",
+    "TransactUpdate",
+]

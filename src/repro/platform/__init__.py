@@ -1,0 +1,55 @@
+"""Serverless platform emulator (substrate).
+
+Models the slice of AWS Lambda behaviour that Beldi's design depends on
+(§2.1 of the paper):
+
+- functions registered by identifier and invoked on demand,
+- stateless request routing — every invocation may land on a fresh worker,
+- warm-container reuse with cold-start latency otherwise,
+- an account-wide concurrency cap; the gateway rejects client requests in
+  excess of it (the saturation bottleneck in the paper's Figures 14-15/26),
+- per-invocation execution timeouts after which the worker is killed (the
+  basis of Beldi's garbage-collection synchrony assumption, §5),
+- synchronous and asynchronous invocation,
+- periodic timer triggers (how the intent and garbage collectors run), and
+- crash injection at named points inside a handler, which is how every
+  exactly-once test drives the system through its failure space.
+
+Nothing here knows about Beldi: this is the provider, and per the paper's
+"deployable today" requirement, Beldi runs on it without modification.
+"""
+
+from repro.platform.context import InvocationContext
+from repro.platform.crashes import (
+    CrashOnce,
+    CrashPolicy,
+    CrashScript,
+    NeverCrash,
+    ProbabilisticCrash,
+)
+from repro.platform.errors import (
+    FunctionCrashed,
+    FunctionNotFound,
+    FunctionTimeout,
+    PlatformError,
+    TooManyRequests,
+)
+from repro.platform.platform import PlatformConfig, PlatformStats, \
+    ServerlessPlatform
+
+__all__ = [
+    "CrashOnce",
+    "CrashPolicy",
+    "CrashScript",
+    "FunctionCrashed",
+    "FunctionNotFound",
+    "FunctionTimeout",
+    "InvocationContext",
+    "NeverCrash",
+    "PlatformConfig",
+    "PlatformError",
+    "PlatformStats",
+    "ProbabilisticCrash",
+    "ServerlessPlatform",
+    "TooManyRequests",
+]

@@ -1,0 +1,68 @@
+"""Per-invocation context handed to function handlers.
+
+The context is the handler's only window onto the platform: its identity
+(request id — what Beldi uses as the first instance id in a workflow), its
+deadline, nested invocation of other functions, and the crash points the
+fault-injection machinery hooks into.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.kernel import ProcessCrashed
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.platform.platform import ServerlessPlatform
+
+
+class InvocationContext:
+    """Identity and services for one running function instance."""
+
+    def __init__(self, platform: "ServerlessPlatform", function: str,
+                 request_id: str, invocation_index: int,
+                 deadline: float, cold_start: bool) -> None:
+        self.platform = platform
+        self.function = function
+        self.request_id = request_id
+        self.invocation_index = invocation_index
+        self.deadline = deadline
+        self.cold_start = cold_start
+
+    # -- time ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.platform.kernel.now
+
+    def remaining_time(self) -> float:
+        """Virtual ms until the platform kills this invocation."""
+        return max(0.0, self.deadline - self.now)
+
+    def sleep(self, duration: float) -> None:
+        self.platform.kernel.sleep(duration)
+
+    # -- nested invocation -------------------------------------------------------
+    def sync_invoke(self, function: str, payload: Any) -> Any:
+        """Call another function and wait for its result."""
+        return self.platform.sync_invoke(function, payload)
+
+    def async_invoke(self, function: str, payload: Any) -> None:
+        """Fire-and-forget invocation of another function."""
+        self.platform.async_invoke(function, payload)
+
+    # -- fault injection -----------------------------------------------------------
+    def crash_point(self, tag: str) -> None:
+        """Die here if the active crash policy says so.
+
+        Instrumentation is cooperative: the Beldi library brackets every
+        externally visible operation with crash points, giving tests a
+        complete, nameable crash space.
+        """
+        policy = self.platform.crash_policy
+        if policy.should_crash(self.function, self.invocation_index, tag):
+            self.platform.stats.injected_crashes += 1
+            raise ProcessCrashed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<InvocationContext {self.function} "
+                f"req={self.request_id} #{self.invocation_index}>")

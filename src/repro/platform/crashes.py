@@ -1,0 +1,121 @@
+"""Crash-fault injection policies.
+
+A crash policy is consulted at *crash points*: named locations that the
+code under test (the Beldi library, the apps) passes through via
+``ctx.crash_point(tag)``. When the policy fires, the worker dies on the
+spot — modelling an SSF instance crashing between, or in the middle of,
+externally visible operations.
+
+Exactly-once tests enumerate crash points deterministically
+(:class:`CrashOnce`, :class:`CrashScript`) or explore them statistically
+(:class:`ProbabilisticCrash` under hypothesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.randsrc import RandomSource
+
+
+class CrashPolicy:
+    """Decides whether an invocation should crash at a crash point."""
+
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        raise NotImplementedError
+
+
+class NeverCrash(CrashPolicy):
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        return False
+
+
+@dataclass
+class CrashOnce(CrashPolicy):
+    """Crash one specific (function, invocation ordinal, tag) and no more.
+
+    ``invocation_index`` counts invocations of ``function`` from 0 in
+    platform order, so "crash the first execution right after it logs its
+    intent" is ``CrashOnce("hello", tag="intent-logged")``.
+    """
+
+    function: str
+    tag: str
+    invocation_index: int = 0
+    fired: bool = field(default=False, init=False)
+
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        if self.fired:
+            return False
+        if (function == self.function and tag == self.tag
+                and invocation_index == self.invocation_index):
+            self.fired = True
+            return True
+        return False
+
+
+@dataclass
+class CrashScript(CrashPolicy):
+    """Crash at an explicit set of (function, invocation ordinal, tag).
+
+    Each entry fires at most once; ``remaining`` exposes what has not fired
+    (useful for asserting a scenario actually exercised its crashes).
+    """
+
+    entries: set = field(default_factory=set)
+
+    @classmethod
+    def of(cls, *entries: tuple) -> "CrashScript":
+        return cls(set(entries))
+
+    @property
+    def remaining(self) -> set:
+        return set(self.entries)
+
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        key = (function, invocation_index, tag)
+        if key in self.entries:
+            self.entries.discard(key)
+            return True
+        return False
+
+
+@dataclass
+class ProbabilisticCrash(CrashPolicy):
+    """Crash with probability ``p`` at each matching crash point."""
+
+    p: float
+    rand: RandomSource
+    functions: Optional[frozenset] = None
+    tags: Optional[frozenset] = None
+    max_crashes: Optional[int] = None
+    crash_count: int = field(default=0, init=False)
+
+    @classmethod
+    def build(cls, p: float, rand: RandomSource,
+              functions: Optional[Iterable[str]] = None,
+              tags: Optional[Iterable[str]] = None,
+              max_crashes: Optional[int] = None) -> "ProbabilisticCrash":
+        return cls(p=p, rand=rand,
+                   functions=frozenset(functions) if functions else None,
+                   tags=frozenset(tags) if tags else None,
+                   max_crashes=max_crashes)
+
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        if self.max_crashes is not None and (
+                self.crash_count >= self.max_crashes):
+            return False
+        if self.functions is not None and function not in self.functions:
+            return False
+        if self.tags is not None and tag not in self.tags:
+            return False
+        if self.rand.random() < self.p:
+            self.crash_count += 1
+            return True
+        return False

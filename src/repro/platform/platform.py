@@ -1,0 +1,276 @@
+"""The serverless platform: registry, dispatch, concurrency, timeouts.
+
+One :class:`ServerlessPlatform` models one provider account. Functions are
+registered under string identifiers; invocations spawn kernel processes
+that pay calibrated dispatch/cold-start latency, run the handler, and are
+killed when they exceed their execution timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.platform.context import InvocationContext
+from repro.platform.crashes import CrashPolicy, NeverCrash
+from repro.platform.errors import (
+    FunctionCrashed,
+    FunctionNotFound,
+    FunctionTimeout,
+    TooManyRequests,
+)
+from repro.sim.kernel import Process, ProcessCrashed, ProcessKilled, \
+    SimKernel
+from repro.sim.latency import LatencyModel
+from repro.sim.randsrc import RandomSource
+
+Handler = Callable[[InvocationContext, Any], Any]
+
+
+@dataclass
+class PlatformConfig:
+    """Account-level knobs.
+
+    concurrency_limit:
+        Max simultaneously running function instances; the gateway rejects
+        client requests beyond it (AWS: 1,000/account — scaled down for
+        bench runs, see EXPERIMENTS.md).
+    default_timeout:
+        Execution timeout in virtual ms; the "T" from which Beldi derives
+        its GC synchrony bound.
+    warm_keepalive:
+        How long an idle container stays warm.
+    internal_retry_limit / internal_retry_backoff:
+        SSF-to-SSF invocations over the cap retry with backoff instead of
+        failing outright (the SDK behaviour).
+    entry_admission_fraction:
+        The gateway admits a new *client* request only while active
+        instances are below this fraction of the cap, reserving headroom
+        for the workflow-internal invocations of already-admitted
+        requests (AWS's reserved-concurrency pattern). Without this, an
+        overloaded account livelocks: admitted entry functions hold every
+        slot while their children starve.
+    """
+
+    concurrency_limit: int = 100
+    default_timeout: float = 60_000.0
+    warm_keepalive: float = 600_000.0
+    internal_retry_limit: int = 40
+    internal_retry_backoff: float = 25.0
+    entry_admission_fraction: float = 0.5
+
+
+@dataclass
+class PlatformStats:
+    invocations: int = 0
+    completions: int = 0
+    crashes: int = 0
+    timeouts: int = 0
+    rejected: int = 0
+    cold_starts: int = 0
+    warm_starts: int = 0
+    injected_crashes: int = 0
+    peak_concurrency: int = 0
+
+
+class _FunctionEntry:
+    def __init__(self, name: str, handler: Handler, timeout: float) -> None:
+        self.name = name
+        self.handler = handler
+        self.timeout = timeout
+        self.warm_expiries: list[float] = []
+        self.invocation_counter = 0
+
+
+class ServerlessPlatform:
+    """A provider account: functions, workers, gateway, timers."""
+
+    def __init__(self, kernel: SimKernel,
+                 rand: Optional[RandomSource] = None,
+                 latency: Optional[LatencyModel] = None,
+                 config: Optional[PlatformConfig] = None,
+                 crash_policy: Optional[CrashPolicy] = None) -> None:
+        self.kernel = kernel
+        self.rand = rand or RandomSource(0, "platform")
+        self.latency = latency or LatencyModel.zero()
+        self.config = config or PlatformConfig()
+        self.crash_policy = crash_policy or NeverCrash()
+        self.stats = PlatformStats()
+        self._functions: dict[str, _FunctionEntry] = {}
+        self._active = 0
+        self._timers: list[dict] = []
+
+    # -- registration -----------------------------------------------------------
+    def register(self, name: str, handler: Handler,
+                 timeout: Optional[float] = None) -> None:
+        self._functions[name] = _FunctionEntry(
+            name, handler, timeout or self.config.default_timeout)
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._functions
+
+    def _entry(self, name: str) -> _FunctionEntry:
+        entry = self._functions.get(name)
+        if entry is None:
+            raise FunctionNotFound(f"no function named {name!r}")
+        return entry
+
+    # -- concurrency accounting ----------------------------------------------------
+    @property
+    def active_instances(self) -> int:
+        return self._active
+
+    def _acquire_slot_or_reject(self) -> None:
+        admission_limit = max(
+            1, int(self.config.concurrency_limit
+                   * self.config.entry_admission_fraction))
+        if self._active >= admission_limit:
+            self.stats.rejected += 1
+            raise TooManyRequests(
+                f"gateway admission limit {admission_limit} reached")
+        self._grab_slot()
+
+    def _acquire_slot_with_retry(self) -> None:
+        attempts = 0
+        while self._active >= self.config.concurrency_limit:
+            attempts += 1
+            if attempts > self.config.internal_retry_limit:
+                self.stats.rejected += 1
+                raise TooManyRequests(
+                    "concurrency limit reached after retries")
+            self.kernel.sleep(self.config.internal_retry_backoff * attempts)
+        self._grab_slot()
+
+    def _grab_slot(self) -> None:
+        self._active += 1
+        if self._active > self.stats.peak_concurrency:
+            self.stats.peak_concurrency = self._active
+
+    def _release_slot(self) -> None:
+        self._active -= 1
+
+    # -- dispatch ---------------------------------------------------------------------
+    def _start_instance(self, entry: _FunctionEntry, payload: Any) -> Process:
+        """Spawn the worker process for one invocation (slot already held)."""
+        now = self.kernel.now
+        entry.warm_expiries = [t for t in entry.warm_expiries if t > now]
+        if entry.warm_expiries:
+            entry.warm_expiries.pop()
+            cold = False
+            self.stats.warm_starts += 1
+        else:
+            cold = True
+            self.stats.cold_starts += 1
+        request_id = self.rand.uuid()
+        index = entry.invocation_counter
+        entry.invocation_counter += 1
+        self.stats.invocations += 1
+        deadline = now + entry.timeout  # dispatch latency included, like AWS
+
+        def worker() -> Any:
+            try:
+                self.kernel.sleep(self.latency.sample("lambda.dispatch"))
+                if cold:
+                    self.kernel.sleep(
+                        self.latency.sample("lambda.cold_start"))
+                # Handler CPU time (marshalling, app logic) — the Python
+                # body itself runs in zero virtual time.
+                self.kernel.sleep(self.latency.sample("lambda.compute"))
+                ctx = InvocationContext(self, entry.name, request_id, index,
+                                        deadline, cold)
+                ctx.crash_point("enter")
+                result = entry.handler(ctx, payload)
+                ctx.crash_point("exit")
+                entry.warm_expiries.append(
+                    self.kernel.now + self.config.warm_keepalive)
+                self.stats.completions += 1
+                return result
+            finally:
+                self._release_slot()
+
+        proc = self.kernel.spawn(worker, name=f"fn:{entry.name}")
+        self._arm_timeout(proc, entry.timeout)
+        return proc
+
+    def _arm_timeout(self, proc: Process, timeout: float) -> None:
+        def enforce() -> None:
+            if not proc.finished:
+                self.stats.timeouts += 1
+                proc.kill(crash=False)
+
+        self.kernel.call_later(timeout, enforce)
+
+    def _await_result(self, proc: Process) -> Any:
+        self.kernel.wait(proc.done_event)
+        if proc.error is not None:
+            if isinstance(proc.error, ProcessCrashed):
+                self.stats.crashes += 1
+                raise FunctionCrashed(f"{proc.name} crashed") from None
+            if isinstance(proc.error, ProcessKilled):
+                raise FunctionTimeout(f"{proc.name} timed out") from None
+            raise proc.error
+        return proc.result
+
+    # -- public invocation API ----------------------------------------------------------
+    def sync_invoke(self, name: str, payload: Any) -> Any:
+        """SSF-to-SSF synchronous invocation (waits for the result)."""
+        entry = self._entry(name)
+        self._acquire_slot_with_retry()
+        proc = self._start_instance(entry, payload)
+        return self._await_result(proc)
+
+    def async_invoke(self, name: str, payload: Any) -> None:
+        """Fire-and-forget. No automatic retry on failure (§7.2: automatic
+        Lambda restarts are disabled; Beldi's IC owns recovery)."""
+        entry = self._entry(name)
+        self.kernel.sleep(self.latency.sample("lambda.async_ack"))
+        self._acquire_slot_with_retry()
+        self._start_instance(entry, payload)
+
+    def client_request(self, name: str, payload: Any) -> Any:
+        """External request through the gateway; rejected at the cap."""
+        entry = self._entry(name)
+        self._acquire_slot_or_reject()
+        proc = self._start_instance(entry, payload)
+        return self._await_result(proc)
+
+    # -- timers -----------------------------------------------------------------------------
+    def add_timer(self, name: str, period: float,
+                  payload_factory: Optional[Callable[[], Any]] = None,
+                  suppress_overlap: bool = True) -> dict:
+        """Invoke ``name`` every ``period`` virtual ms (IC/GC triggers).
+
+        With ``suppress_overlap`` a tick is skipped while the previous
+        invocation of this timer is still running, which is how the paper's
+        1-minute IC/GC timers behave in practice.
+        """
+        handle = {"stopped": False, "running": False, "ticks": 0,
+                  "errors": 0}
+
+        def tick_body() -> None:
+            handle["running"] = True
+            try:
+                payload = payload_factory() if payload_factory else {}
+                self.sync_invoke(name, payload)
+            except Exception:  # noqa: BLE001 - timer survives failures
+                handle["errors"] += 1
+            finally:
+                handle["running"] = False
+
+        def loop() -> None:
+            while not handle["stopped"]:
+                self.kernel.sleep(period)
+                if handle["stopped"]:
+                    return
+                if suppress_overlap and handle["running"]:
+                    continue
+                handle["ticks"] += 1
+                self.kernel.spawn(tick_body, name=f"timer:{name}")
+
+        self.kernel.spawn(loop, name=f"timer-loop:{name}")
+        self._timers.append(handle)
+        return handle
+
+    def stop_timers(self) -> None:
+        for handle in self._timers:
+            handle["stopped"] = True

@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the time substrate for the whole reproduction: the NoSQL
+store, the serverless platform emulator, the Beldi runtime, and the load
+generators all advance a shared virtual clock through :class:`SimKernel`.
+
+Processes are ordinary Python callables executed on pooled OS threads, but
+the kernel guarantees that **at most one process runs at any instant** and
+that wakeups are delivered in deterministic ``(time, sequence)`` order, so a
+given seed always produces the same execution.
+"""
+
+from repro.sim.kernel import (
+    ProcessCrashed,
+    ProcessKilled,
+    Process,
+    SimEvent,
+    SimKernel,
+)
+from repro.sim.latency import LatencyModel, LatencySpec, lognormal_from_median
+from repro.sim.randsrc import RandomSource
+
+__all__ = [
+    "LatencyModel",
+    "LatencySpec",
+    "Process",
+    "ProcessCrashed",
+    "ProcessKilled",
+    "RandomSource",
+    "SimEvent",
+    "SimKernel",
+    "lognormal_from_median",
+]

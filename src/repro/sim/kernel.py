@@ -1,0 +1,399 @@
+"""Thread-backed discrete-event simulation kernel.
+
+Design
+------
+The kernel owns a priority queue of ``(time, seq, wakeup)`` entries and a
+virtual clock. Simulated processes are plain Python callables that run on
+pooled OS threads, but only one process executes at a time: whenever a
+process blocks (``sleep``, ``wait``), it hands control back to the kernel
+loop, which pops the next scheduled wakeup and resumes exactly one process.
+
+Because every blocking point goes through the kernel, arbitrary user code
+(Beldi SSF handlers, garbage collectors, load generators) runs unmodified in
+virtual time, and the execution is fully deterministic for a given seed and
+spawn order.
+
+Killing
+-------
+Processes cannot be preempted mid-Python-statement; instead, a killed
+process receives :class:`ProcessKilled` at its *next* kernel interaction.
+This mirrors how a serverless platform can only observe a function at its
+system-call boundaries, and is exactly the granularity Beldi's crash model
+needs (crashes happen between externally visible operations).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Base class for kernel-level failures."""
+
+
+class ProcessKilled(BaseException):
+    """Raised inside a process that has been killed.
+
+    Derives from ``BaseException`` so ordinary ``except Exception`` blocks in
+    user code cannot accidentally swallow a platform-initiated kill (timeout
+    or crash injection), matching how a real worker is torn down.
+    """
+
+
+class ProcessCrashed(ProcessKilled):
+    """A kill that models a crash-fault (injected by a crash policy)."""
+
+
+class SimEvent:
+    """A one-shot signalling primitive in virtual time.
+
+    Processes block on :meth:`SimKernel.wait`; ``set`` wakes every waiter at
+    the current virtual time. A value may be attached to the event.
+    """
+
+    def __init__(self, kernel: "SimKernel", name: str = "") -> None:
+        self._kernel = kernel
+        self.name = name
+        self.is_set = False
+        self.value: Any = None
+        self._waiters: list["Process"] = []
+
+    def set(self, value: Any = None) -> None:
+        """Mark the event set and schedule all waiters to resume now."""
+        if self.is_set:
+            return
+        self.is_set = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._kernel._schedule(0.0, proc._make_wakeup(("event", self)))
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+    def _discard_waiter(self, proc: "Process") -> None:
+        if proc in self._waiters:
+            self._waiters.remove(proc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "set" if self.is_set else "unset"
+        return f"<SimEvent {self.name or id(self)} {state}>"
+
+
+class Process:
+    """Handle to a simulated process.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic label.
+    result:
+        Return value of the body once finished.
+    error:
+        Exception raised by the body, if any (not re-raised by the kernel;
+        callers inspect it or use :meth:`SimKernel.join`).
+    """
+
+    _RUNNING_SENTINEL = object()
+
+    def __init__(self, kernel: "SimKernel", name: str,
+                 body: Callable[[], Any]) -> None:
+        self._kernel = kernel
+        self.name = name
+        self._body = body
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.finished = False
+        self.killed = False
+        self._kill_exc: Optional[ProcessKilled] = None
+        self.done_event = SimEvent(kernel, name=f"{name}.done")
+        # Handoff primitive: released exactly once per scheduled resume.
+        self._resume = threading.Semaphore(0)
+        # Token distinguishing the *current* pending wakeup; stale wakeups
+        # (e.g. a timed-out sleep racing an event set) are ignored.
+        self._wake_token = 0
+        self._wake_reason: Any = None
+        self._started = False
+
+    # -- wakeup plumbing ---------------------------------------------------
+    def _make_wakeup(self, reason: Any) -> Callable[[], bool]:
+        """Create a wakeup closure bound to the current wake token.
+
+        Returns a callable the kernel fires; it returns True when the
+        process was actually resumed (the token was still live).
+        """
+        token = self._wake_token
+
+        def fire() -> bool:
+            if self.finished or not self._started:
+                # A kill may be scheduled before the process starts; the
+                # killed flag is already set and will be observed at start.
+                return False
+            if token != self._wake_token:
+                return False
+            self._wake_token += 1
+            self._wake_reason = reason
+            self._resume.release()
+            return True
+
+        return fire
+
+    def _block(self) -> Any:
+        """Yield to the kernel; return the reason we were woken."""
+        self._kernel._yielded.release()
+        self._resume.acquire()
+        if self.killed and self._kill_exc is not None:
+            exc, self._kill_exc = self._kill_exc, None
+            raise exc
+        return self._wake_reason
+
+    def kill(self, crash: bool = False) -> None:
+        """Request termination; takes effect at the next kernel interaction."""
+        if self.finished or self.killed:
+            return
+        self.killed = True
+        self._kill_exc = ProcessCrashed() if crash else ProcessKilled()
+        # If the process is blocked, schedule an immediate wakeup so the
+        # kill is delivered promptly; a stale token means it is currently
+        # running and will observe the flag at its next block.
+        self._kernel._schedule(0.0, self._make_wakeup(("killed", None)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "live"
+        return f"<Process {self.name} {state}>"
+
+
+class _WorkerThread:
+    """A pooled OS thread that runs process bodies one after another."""
+
+    def __init__(self, kernel: "SimKernel", index: int) -> None:
+        self._kernel = kernel
+        self._task = threading.Semaphore(0)
+        self._proc: Optional[Process] = None
+        self._stop = False
+        self.thread = threading.Thread(
+            target=self._loop, name=f"sim-worker-{index}", daemon=True)
+        self.thread.start()
+
+    def submit(self, proc: Process) -> None:
+        self._proc = proc
+        self._task.release()
+
+    def shutdown(self) -> None:
+        self._stop = True
+        self._task.release()
+
+    def _loop(self) -> None:
+        while True:
+            self._task.acquire()
+            if self._stop:
+                return
+            proc = self._proc
+            self._proc = None
+            assert proc is not None
+            self._run_one(proc)
+            self._kernel._recycle_worker(self)
+
+    def _run_one(self, proc: Process) -> None:
+        kernel = self._kernel
+        kernel._thread_local.process = proc
+        try:
+            # First resume: wait for the kernel to schedule our start.
+            proc._resume.acquire()
+            if proc.killed and proc._kill_exc is not None:
+                raise proc._kill_exc
+            proc.result = proc._body()
+        except ProcessKilled as exc:
+            proc.error = exc
+        except BaseException as exc:  # noqa: BLE001 - recorded, not hidden
+            proc.error = exc
+        finally:
+            kernel._thread_local.process = None
+            proc.finished = True
+            proc._wake_token += 1  # invalidate any pending wakeups
+            kernel._on_process_exit(proc)
+            kernel._yielded.release()
+
+
+class SimKernel:
+    """Deterministic virtual-time scheduler.
+
+    Typical use::
+
+        kernel = SimKernel(seed=7)
+        kernel.spawn(my_process)
+        kernel.run()
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now = 0.0
+        self.seed = seed
+        self._queue: list[tuple[float, int, Callable[[], bool]]] = []
+        self._seq = itertools.count()
+        self._yielded = threading.Semaphore(0)
+        self._idle_workers: list[_WorkerThread] = []
+        self._worker_count = 0
+        self._thread_local = threading.local()
+        self._live_processes = 0
+        self._running = False
+        self._proc_seq = itertools.count()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def current_process(self) -> Optional[Process]:
+        return getattr(self._thread_local, "process", None)
+
+    def _require_process(self) -> Process:
+        proc = self.current_process
+        if proc is None:
+            raise SimulationError(
+                "this operation must be called from inside a simulated "
+                "process (use SimKernel.spawn)")
+        return proc
+
+    # -- scheduling core ----------------------------------------------------
+    def _schedule(self, delay: float, fire: Callable[[], bool]) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fire))
+
+    def _recycle_worker(self, worker: _WorkerThread) -> None:
+        self._idle_workers.append(worker)
+
+    def _on_process_exit(self, proc: Process) -> None:
+        self._live_processes -= 1
+        proc.done_event.set(proc.result)
+
+    # -- process management --------------------------------------------------
+    def spawn(self, body: Callable[..., Any], *args: Any,
+              name: Optional[str] = None, delay: float = 0.0,
+              **kwargs: Any) -> Process:
+        """Create a process that starts after ``delay`` virtual time units."""
+        label = name or getattr(body, "__name__", "process")
+        label = f"{label}#{next(self._proc_seq)}"
+
+        def run() -> Any:
+            return body(*args, **kwargs)
+
+        proc = Process(self, label, run)
+        self._live_processes += 1
+        self._schedule(delay, self._make_start(proc))
+        return proc
+
+    def _make_start(self, proc: Process) -> Callable[[], bool]:
+        def fire() -> bool:
+            if proc.finished:
+                return False
+            proc._started = True
+            if self._idle_workers:
+                worker = self._idle_workers.pop()
+            else:
+                worker = _WorkerThread(self, self._worker_count)
+                self._worker_count += 1
+            worker.submit(proc)
+            proc._resume.release()
+            return True
+
+        return fire
+
+    # -- blocking primitives (called from inside processes) ------------------
+    def sleep(self, duration: float) -> None:
+        """Advance this process's local time by ``duration``."""
+        proc = self._require_process()
+        if duration < 0:
+            raise ValueError(f"negative sleep: {duration}")
+        self._schedule(duration, proc._make_wakeup(("sleep", None)))
+        proc._block()
+
+    def wait(self, event: SimEvent, timeout: Optional[float] = None) -> bool:
+        """Block until ``event`` is set; returns False on timeout."""
+        proc = self._require_process()
+        if event.is_set:
+            return True
+        event._add_waiter(proc)
+        if timeout is not None:
+            self._schedule(timeout, proc._make_wakeup(("timeout", event)))
+        reason = proc._block()
+        kind = reason[0] if isinstance(reason, tuple) else reason
+        if kind == "timeout" and not event.is_set:
+            event._discard_waiter(proc)
+            return False
+        return True
+
+    def join(self, proc: Process, timeout: Optional[float] = None) -> Any:
+        """Wait for ``proc``; re-raises its error, else returns its result."""
+        finished = self.wait(proc.done_event, timeout=timeout)
+        if not finished:
+            raise TimeoutError(f"join timed out on {proc.name}")
+        if proc.error is not None and not isinstance(proc.error,
+                                                     ProcessKilled):
+            raise proc.error
+        return proc.result
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` inline in the kernel loop after ``delay``.
+
+        The callback must not block; it may set events or kill processes
+        (used for execution-timeout watchdogs).
+        """
+
+        def fire() -> bool:
+            fn()
+            return False
+
+        self._schedule(delay, fire)
+
+    # -- driving the simulation ----------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or virtual time reaches ``until``.
+
+        Returns the final virtual time. Must be called from a non-simulated
+        (driver) thread.
+        """
+        if self.current_process is not None:
+            raise SimulationError("run() called from inside a process")
+        if self._running:
+            raise SimulationError("kernel is already running")
+        self._running = True
+        try:
+            while self._queue:
+                when, _seq, fire = heapq.heappop(self._queue)
+                if until is not None and when > until:
+                    heapq.heappush(self._queue, (when, _seq, fire))
+                    self.now = until
+                    break
+                self.now = when
+                if fire():
+                    # Exactly one process resumed; wait for it to yield back.
+                    self._yielded.acquire()
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_processes_exit(self, procs: Iterable[Process],
+                                 limit: Optional[float] = None) -> float:
+        """Convenience driver: run until all ``procs`` finished."""
+        procs = list(procs)
+        while any(not p.finished for p in procs):
+            before = len(self._queue)
+            self.run(until=limit)
+            if limit is not None and self.now >= limit:
+                break
+            if not self._queue and before == 0:
+                break
+        return self.now
+
+    def shutdown(self) -> None:
+        """Tear down pooled worker threads (test hygiene)."""
+        for worker in self._idle_workers:
+            worker.shutdown()
+        self._idle_workers.clear()

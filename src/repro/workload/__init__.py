@@ -1,0 +1,27 @@
+"""Load generation and latency measurement (§7.2's methodology).
+
+The paper drives its applications with wrk2 — an *open-loop* constant
+throughput generator that avoids coordinated omission: requests are
+launched on schedule whether or not earlier ones completed. This package
+reproduces that methodology inside the simulation: a generator process
+spawns one client process per arrival, a recorder keeps full latency
+distributions (and time-bucketed series for the GC experiment), and the
+runner assembles rate sweeps like Figures 14/15/26.
+"""
+
+from repro.workload.generator import LoadGenerator, LoadResult
+from repro.workload.recorder import LatencyRecorder
+from repro.workload.runner import (
+    SweepPoint,
+    run_constant_load,
+    run_sweep,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "LoadGenerator",
+    "LoadResult",
+    "SweepPoint",
+    "run_constant_load",
+    "run_sweep",
+]

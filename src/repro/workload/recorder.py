@@ -1,0 +1,80 @@
+"""Latency recording: percentiles and time-bucketed series."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class LatencyRecorder:
+    """Collects completion latencies (virtual ms) with outcome labels."""
+
+    def __init__(self, bucket_width: Optional[float] = None) -> None:
+        self.samples: list[float] = []
+        self.outcomes: dict[str, int] = {}
+        self.bucket_width = bucket_width
+        self._buckets: dict[int, list[float]] = {}
+
+    def record(self, start: float, end: float, outcome: str = "ok") -> None:
+        latency = end - start
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if outcome != "ok":
+            return
+        self.samples.append(latency)
+        if self.bucket_width:
+            self._buckets.setdefault(
+                int(start // self.bucket_width), []).append(latency)
+
+    def record_failure(self, outcome: str) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
+    # -- aggregate statistics ------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def total(self, outcome: str) -> int:
+        return self.outcomes.get(outcome, 0)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; q in [0, 100]."""
+        if not self.samples:
+            return float("nan")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return float("nan")
+        return sum(self.samples) / len(self.samples)
+
+    # -- time series (Fig. 16 uses median-per-interval) ------------------------
+    def series(self, q: float = 50.0) -> list[tuple[float, float]]:
+        """``(bucket start time, percentile)`` pairs, in time order."""
+        if not self.bucket_width:
+            raise ValueError("recorder built without bucket_width")
+        points = []
+        for index in sorted(self._buckets):
+            samples = sorted(self._buckets[index])
+            rank = max(1, math.ceil(q / 100.0 * len(samples)))
+            points.append((index * self.bucket_width, samples[rank - 1]))
+        return points
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "p50": round(self.p50, 3) if self.samples else None,
+            "p99": round(self.p99, 3) if self.samples else None,
+            "mean": round(self.mean, 3) if self.samples else None,
+            "outcomes": dict(self.outcomes),
+        }

@@ -1,0 +1,56 @@
+"""Experiment runners: constant-rate points and rate sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.randsrc import RandomSource
+from repro.workload.generator import LoadGenerator, LoadResult
+
+
+@dataclass
+class SweepPoint:
+    rate: float
+    result: LoadResult
+
+    def row(self) -> dict:
+        return self.result.row()
+
+
+def run_constant_load(runtime: Any, entry: str,
+                      sample: Callable[[RandomSource], Any],
+                      rate_rps: float, duration_ms: float,
+                      warmup_ms: float = 0.0,
+                      seed: int = 0,
+                      bucket_width: Optional[float] = None) -> LoadResult:
+    """One constant-rate measurement against a runtime's gateway."""
+    generator = LoadGenerator(
+        runtime.kernel,
+        submit=lambda payload: runtime.client_call(entry, payload),
+        sample=sample,
+        rand=RandomSource(seed, "load"),
+        bucket_width=bucket_width)
+    return generator.run(rate_rps, duration_ms, warmup_ms=warmup_ms)
+
+
+def run_sweep(build: Callable[[], tuple[Any, str,
+                                        Callable[[RandomSource], Any]]],
+              rates: Iterable[float], duration_ms: float,
+              warmup_ms: float = 0.0, seed: int = 0) -> list[SweepPoint]:
+    """Latency-vs-throughput sweep (Figures 14/15/26 shape).
+
+    ``build`` constructs a **fresh** runtime+app per rate point — matching
+    the paper's methodology of measuring each offered load from a clean
+    system rather than reusing a warmed, possibly saturated one.
+    """
+    points = []
+    for rate in rates:
+        runtime, entry, sample = build()
+        result = run_constant_load(runtime, entry, sample, rate,
+                                   duration_ms, warmup_ms=warmup_ms,
+                                   seed=seed)
+        points.append(SweepPoint(rate=rate, result=result))
+        runtime.stop_collectors()
+        runtime.kernel.shutdown()
+    return points

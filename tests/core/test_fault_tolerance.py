@@ -1,0 +1,344 @@
+"""Exactly-once semantics under crash injection (the paper's core claim).
+
+Strategy: first run each scenario once with a recording policy to learn
+every crash point the execution passes through; then re-run the scenario
+from scratch once per crash point, injecting a crash exactly there, letting
+the intent collector restart the work, and asserting the final state is
+identical to a crash-free run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BeldiConfig, BeldiRuntime
+from repro.platform import CrashPolicy, FunctionCrashed
+from repro.platform.errors import TooManyRequests
+
+
+class RecordingPolicy(CrashPolicy):
+    """Never crashes; remembers every crash point it was asked about."""
+
+    def __init__(self):
+        self.tags = []
+
+    def should_crash(self, function, invocation_index, tag):
+        self.tags.append((function, invocation_index, tag))
+        return False
+
+
+class CrashExactlyOnce(CrashPolicy):
+    """Crash one exact (function, invocation, tag) triple, once."""
+
+    def __init__(self, target):
+        self.target = target
+        self.fired = False
+
+    def should_crash(self, function, invocation_index, tag):
+        if not self.fired and (function, invocation_index,
+                               tag) == self.target:
+            self.fired = True
+            return True
+        return False
+
+
+def fast_config():
+    return BeldiConfig(ic_restart_delay=50.0, gc_t=1e12,
+                       invoke_retry_backoff=5.0)
+
+
+def build_runtime(crash_policy=None):
+    runtime = BeldiRuntime(seed=42, config=fast_config())
+    if crash_policy is not None:
+        runtime.platform.crash_policy = crash_policy
+    return runtime
+
+
+def drive_to_completion(runtime, entry, payload, horizon=3_000.0):
+    """Issue one client request; let the IC mop up crashes."""
+    outcome = {}
+
+    def client():
+        try:
+            outcome["result"] = runtime.client_call(entry, payload)
+        except FunctionCrashed:
+            outcome["crashed"] = True
+        except TooManyRequests:  # pragma: no cover - not expected here
+            outcome["rejected"] = True
+
+    runtime.start_collectors(ic_period=100.0, gc_period=1e11)
+    runtime.kernel.spawn(client)
+    runtime.kernel.run(until=horizon)
+    runtime.stop_collectors()
+    runtime.kernel.run(until=horizon + 2_000.0)
+    runtime.kernel.shutdown()
+    return outcome
+
+
+class ExactlyOnceScenario:
+    """A reusable harness: build SSFs, run, extract observable state."""
+
+    entry = "entry"
+    payload = None
+
+    def build(self, runtime):
+        raise NotImplementedError
+
+    def state(self, runtime):
+        raise NotImplementedError
+
+    def crash_free_state(self):
+        runtime = build_runtime()
+        self.build(runtime)
+        outcome = drive_to_completion(runtime, self.entry, self.payload)
+        assert "crashed" not in outcome
+        return self.state(runtime), outcome.get("result")
+
+    def discover_crash_points(self):
+        policy = RecordingPolicy()
+        runtime = build_runtime(policy)
+        self.build(runtime)
+        drive_to_completion(runtime, self.entry, self.payload)
+        # Only first-execution crash points are interesting targets;
+        # collectors and replays get higher invocation indexes.
+        return sorted(set(policy.tags))
+
+    def assert_exactly_once_under_all_crashes(self):
+        expected_state, _expected_result = self.crash_free_state()
+        crash_points = self.discover_crash_points()
+        assert crash_points, "scenario produced no crash points"
+        # Crashing the entry SSF's very first invocation at "enter"
+        # happens *before* the intent is logged: the request never
+        # existed, nothing may externalize, and the client saw an error
+        # it can retry. That all-or-nothing outcome is also correct.
+        pre_intent = (self.entry, 0, "enter")
+        initial_state = self.initial_state()
+        failures = []
+        for target in crash_points:
+            runtime = build_runtime(CrashExactlyOnce(target))
+            self.build(runtime)
+            outcome = drive_to_completion(runtime, self.entry,
+                                          self.payload)
+            got = self.state(runtime)
+            if target == pre_intent:
+                ok = (got == expected_state
+                      or (got == initial_state
+                          and outcome.get("crashed")))
+            else:
+                ok = got == expected_state
+            if not ok:
+                failures.append((target, got))
+        assert not failures, (
+            f"state diverged for {len(failures)} crash points; first: "
+            f"{failures[0]} (expected {expected_state})")
+
+    def initial_state(self):
+        runtime = build_runtime()
+        self.build(runtime)
+        state = self.state(runtime)
+        runtime.kernel.shutdown()
+        return state
+
+
+class CounterScenario(ExactlyOnceScenario):
+    """Read-modify-write: the canonical double-increment hazard."""
+
+    def build(self, runtime):
+        def handler(ctx, payload):
+            count = ctx.read("kv", "counter") or 0
+            ctx.write("kv", "counter", count + 10)
+            tagged = ctx.read("kv", "counter")
+            ctx.write("kv", "audit", f"count={tagged}")
+            return tagged
+
+        self.ssf = runtime.register_ssf(self.entry, handler, tables=["kv"])
+
+    def state(self, runtime):
+        return (self.ssf.env.peek("kv", "counter"),
+                self.ssf.env.peek("kv", "audit"))
+
+
+class CondWriteScenario(ExactlyOnceScenario):
+    """Conditional writes must externalize their outcome exactly once."""
+
+    def build(self, runtime):
+        from repro.kvstore import Eq
+        from repro.kvstore.expressions import path
+
+        def handler(ctx, payload):
+            ctx.write("kv", "slot", {"holder": "nobody"})
+            won = ctx.cond_write("kv", "slot", {"holder": "me"},
+                                 Eq(path("Value", "holder"), "nobody"))
+            lost = ctx.cond_write("kv", "slot", {"holder": "me-again"},
+                                  Eq(path("Value", "holder"), "nobody"))
+            ctx.write("kv", "outcomes", [won, lost])
+            return [won, lost]
+
+        self.ssf = runtime.register_ssf(self.entry, handler, tables=["kv"])
+
+    def state(self, runtime):
+        return (self.ssf.env.peek("kv", "slot"),
+                self.ssf.env.peek("kv", "outcomes"))
+
+
+class InvokeChainScenario(ExactlyOnceScenario):
+    """Caller/callee with state on both sides and a result dependency."""
+
+    def build(self, runtime):
+        def callee(ctx, payload):
+            total = ctx.read("books", "ledger") or 0
+            total += payload["amount"]
+            ctx.write("books", "ledger", total)
+            return total
+
+        self.callee = runtime.register_ssf("ledger", callee,
+                                           tables=["books"])
+
+        def entry(ctx, payload):
+            first = ctx.sync_invoke("ledger", {"amount": 7})
+            second = ctx.sync_invoke("ledger", {"amount": 5})
+            ctx.write("kv", "echo", [first, second])
+            return second
+
+        self.entry_ssf = runtime.register_ssf(self.entry, entry,
+                                              tables=["kv"])
+
+    def state(self, runtime):
+        return (self.callee.env.peek("books", "ledger"),
+                self.entry_ssf.env.peek("kv", "echo"))
+
+
+class AsyncInvokeScenario(ExactlyOnceScenario):
+    """Async registration + execution must also be exactly-once."""
+
+    def build(self, runtime):
+        def sink(ctx, payload):
+            seen = ctx.read("inbox", "log") or []
+            seen = seen + [payload["msg"]]
+            ctx.write("inbox", "log", seen)
+            return len(seen)
+
+        self.sink = runtime.register_ssf("sink", sink, tables=["inbox"])
+
+        def entry(ctx, payload):
+            ctx.async_invoke("sink", {"msg": "m1"})
+            ctx.write("kv", "sent", True)
+            return "dispatched"
+
+        self.entry_ssf = runtime.register_ssf(self.entry, entry,
+                                              tables=["kv"])
+
+    def state(self, runtime):
+        return (self.sink.env.peek("inbox", "log"),
+                self.entry_ssf.env.peek("kv", "sent"))
+
+
+class TestExactlyOnceUnderCrashes:
+    def test_counter_scenario(self):
+        CounterScenario().assert_exactly_once_under_all_crashes()
+
+    def test_cond_write_scenario(self):
+        CondWriteScenario().assert_exactly_once_under_all_crashes()
+
+    def test_invoke_chain_scenario(self):
+        InvokeChainScenario().assert_exactly_once_under_all_crashes()
+
+    def test_async_invoke_scenario(self):
+        AsyncInvokeScenario().assert_exactly_once_under_all_crashes()
+
+
+class TestCallbackAnomaly:
+    """The Fig. 9 trace: callee dies after 'done', before returning."""
+
+    def test_result_arrives_via_callback(self):
+        runtime = build_runtime(CrashExactlyOnce(("ledger", 0, "exit")))
+
+        def callee(ctx, payload):
+            total = (ctx.read("books", "ledger") or 0) + payload
+            ctx.write("books", "ledger", total)
+            return total
+
+        callee_ssf = runtime.register_ssf("ledger", callee,
+                                          tables=["books"])
+
+        def entry(ctx, payload):
+            return ctx.sync_invoke("ledger", 5)
+
+        runtime.register_ssf("entry", entry)
+        outcome = drive_to_completion(runtime, "entry", None)
+        # The crash happened after the callback: the caller must have
+        # recovered the result from its invoke log without re-running
+        # the callee.
+        assert callee_ssf.env.peek("books", "ledger") == 5
+        assert outcome.get("result") == 5 or "crashed" in outcome
+
+    def test_crash_between_body_and_callback_reexecutes_safely(self):
+        runtime = build_runtime(
+            CrashExactlyOnce(("ledger", 0, "body:done")))
+
+        def callee(ctx, payload):
+            total = (ctx.read("books", "ledger") or 0) + payload
+            ctx.write("books", "ledger", total)
+            return total
+
+        callee_ssf = runtime.register_ssf("ledger", callee,
+                                          tables=["books"])
+        runtime.register_ssf("entry",
+                             lambda ctx, p: ctx.sync_invoke("ledger", 5))
+        drive_to_completion(runtime, "entry", None)
+        assert callee_ssf.env.peek("books", "ledger") == 5
+
+
+class TestIntentCollector:
+    def test_ic_restarts_unfinished_instance(self):
+        runtime = build_runtime(
+            CrashExactlyOnce(("worker", 0, "write:1:start")))
+
+        def worker(ctx, payload):
+            ctx.read("kv", "x")
+            ctx.write("kv", "x", "done")
+            return "ok"
+
+        ssf = runtime.register_ssf("worker", worker, tables=["kv"])
+        outcome = drive_to_completion(runtime, "worker", None)
+        assert outcome.get("crashed") is True  # the client saw the crash
+        assert ssf.env.peek("kv", "x") == "done"  # but Beldi finished it
+        intents = ssf.env.store.scan(ssf.env.intent_table).items
+        assert all(i["Done"] for i in intents)
+
+    def test_ic_rate_limits_restarts(self):
+        config = BeldiConfig(ic_restart_delay=1e9, gc_t=1e12)
+        runtime = BeldiRuntime(seed=42, config=config)
+        runtime.platform.crash_policy = CrashExactlyOnce(
+            ("worker", 0, "write:1:start"))
+
+        def worker(ctx, payload):
+            ctx.read("kv", "x")
+            ctx.write("kv", "x", "done")
+            return "ok"
+
+        ssf = runtime.register_ssf("worker", worker, tables=["kv"])
+        outcome = drive_to_completion(runtime, "worker", None,
+                                      horizon=30_000.0)
+        # The delay is enormous, so the IC must NOT have restarted it.
+        assert outcome.get("crashed") is True
+        assert ssf.env.peek("kv", "x") is None
+        pending = ssf.env.store.scan(ssf.env.intent_table).items
+        assert pending and not pending[0]["Done"]
+
+    def test_ic_idempotent_with_live_instance(self):
+        """IC restarting a *live* instance must not duplicate effects."""
+        config = BeldiConfig(ic_restart_delay=10.0, gc_t=1e12)
+        runtime = BeldiRuntime(seed=42, config=config, latency_scale=1.0)
+
+        def slow_worker(ctx, payload):
+            count = ctx.read("kv", "n") or 0
+            ctx.sleep(5_000.0)  # long enough for several IC periods
+            ctx.write("kv", "n", count + 1)
+            return count + 1
+
+        ssf = runtime.register_ssf("slow", slow_worker, tables=["kv"])
+        outcome = drive_to_completion(runtime, "slow", None,
+                                      horizon=120_000.0)
+        assert ssf.env.peek("kv", "n") == 1
+        assert outcome.get("result") == 1

@@ -1,0 +1,169 @@
+"""Locks-with-intent (§6.1): mutual exclusion owned by intents."""
+
+import pytest
+
+from repro.core import BeldiConfig, BeldiRuntime
+from repro.platform import FunctionCrashed
+from repro.platform.crashes import CrashOnce
+
+
+@pytest.fixture
+def runtime():
+    rt = BeldiRuntime(seed=5, config=BeldiConfig(
+        ic_restart_delay=50.0, gc_t=1e12, lock_retry_backoff=5.0))
+    yield rt
+    rt.kernel.shutdown()
+
+
+class TestMutualExclusion:
+    def test_lock_serializes_critical_sections(self, runtime):
+        """Two concurrent instances increment under a lock: no lost update.
+
+        Without the lock this read-modify-write with an intervening sleep
+        would interleave and lose one increment.
+        """
+        def worker(ctx, payload):
+            ctx.lock("kv", "shared")
+            value = ctx.read("kv", "shared") or 0
+            ctx.sleep(50.0)  # force overlap without the lock
+            ctx.write("kv", "shared", value + 1)
+            ctx.unlock("kv", "shared")
+            return value + 1
+
+        ssf = runtime.register_ssf("worker", worker, tables=["kv"])
+        results = []
+        for i in range(2):
+            runtime.kernel.spawn(
+                lambda: results.append(runtime.client_call("worker", None)))
+        runtime.kernel.run()
+        assert sorted(results) == [1, 2]
+        assert ssf.env.peek("kv", "shared") == 2
+
+    def test_without_lock_updates_can_be_lost(self, runtime):
+        """Control experiment: same workload, no lock, lost update."""
+        def worker(ctx, payload):
+            value = ctx.read("kv", "shared") or 0
+            ctx.sleep(50.0)
+            ctx.write("kv", "shared", value + 1)
+            return value + 1
+
+        ssf = runtime.register_ssf("racer", worker, tables=["kv"])
+        for i in range(2):
+            runtime.kernel.spawn(
+                lambda: runtime.client_call("racer", None))
+        runtime.kernel.run()
+        assert ssf.env.peek("kv", "shared") == 1  # one update lost
+
+    def test_reacquire_own_lock_is_noop(self, runtime):
+        def worker(ctx, payload):
+            ctx.lock("kv", "item")
+            ctx.lock("kv", "item")  # own lock: condition still true
+            ctx.write("kv", "item", "v")
+            ctx.unlock("kv", "item")
+            return "ok"
+
+        runtime.register_ssf("worker", worker, tables=["kv"])
+        assert runtime.run_workflow("worker") == "ok"
+
+
+class TestLocksWithIntent:
+    def test_lock_survives_crash_and_restart(self, runtime):
+        """Fig. 11's motivation: a crashed holder's lock is not lost —
+        the re-executed intent still owns it and finishes the job."""
+        runtime.platform.crash_policy = CrashOnce(
+            "worker", tag="write:2:start")
+
+        def worker(ctx, payload):
+            ctx.lock("kv", "item")          # step 0 (condWrite)
+            value = ctx.read("kv", "item") or 0   # step 1
+            ctx.write("kv", "item", value + 1)    # step 2  <- crash here
+            ctx.unlock("kv", "item")        # step 3
+            return "done"
+
+        ssf = runtime.register_ssf("worker", worker, tables=["kv"])
+        outcome = {}
+
+        def client():
+            try:
+                outcome["r"] = runtime.client_call("worker", None)
+            except FunctionCrashed:
+                outcome["crashed"] = True
+
+        runtime.start_collectors(ic_period=100.0, gc_period=1e11)
+        runtime.kernel.spawn(client)
+        runtime.kernel.run(until=3_000.0)
+        runtime.stop_collectors()
+        runtime.kernel.run(until=5_000.0)
+        assert outcome.get("crashed") is True
+        assert ssf.env.peek("kv", "item") == 1
+        # And the lock must have been released by the re-execution.
+        table = ssf.env.data_table("kv")
+        rows = ssf.env.store.query(table, "item").items
+        assert all("LockOwner" not in row or row["LockOwner"] is None
+                   for row in rows)
+
+    def test_unlock_is_exactly_once_under_replay(self, runtime):
+        """Re-running a completed instance must not unlock a lock that a
+        *different* instance has since acquired."""
+        def locker(ctx, payload):
+            ctx.lock("kv", "item")
+            ctx.unlock("kv", "item")
+            return "cycled"
+
+        ssf = runtime.register_ssf("locker", locker, tables=["kv"])
+
+        def client():
+            # First instance runs, completes, releases.
+            runtime.platform.sync_invoke(
+                "locker", {"kind": "call", "instance_id": "inst-A",
+                           "input": None})
+            # Second instance acquires the lock (and keeps it briefly).
+            runtime.platform.sync_invoke(
+                "locker", {"kind": "call", "instance_id": "inst-B",
+                           "input": None})
+            # Replay of the first instance: its unlock must replay from
+            # the log, not release anything anew.
+            runtime.platform.sync_invoke(
+                "locker", {"kind": "call", "instance_id": "inst-A",
+                           "input": None})
+
+        runtime.kernel.spawn(client)
+        runtime.kernel.run()
+        table = ssf.env.data_table("kv")
+        rows = ssf.env.store.query(table, "item").items
+        assert all("LockOwner" not in row for row in rows)
+
+    def test_lock_starvation_raises(self, runtime):
+        """A dead-held lock (no IC running) eventually errors, not hangs."""
+        from repro.core.errors import MisusedApi
+        runtime.config.lock_retry_limit = 3
+        runtime.platform.crash_policy = CrashOnce(
+            "holder", tag="body:done")
+
+        def holder(ctx, payload):
+            ctx.lock("kv", "item")
+            return "held"
+
+        def contender(ctx, payload):
+            ctx.lock("kv", "item")
+            return "acquired"
+
+        # Same team, shared env: both SSFs address the same "kv" table.
+        shared = runtime.create_env("team", tables=["kv"])
+        runtime.register_ssf("holder", holder, env=shared)
+        runtime.register_ssf("contender", contender, env=shared)
+        outcome = {}
+
+        def client():
+            try:
+                runtime.client_call("holder", None)
+            except FunctionCrashed:
+                pass
+            try:
+                outcome["r"] = runtime.client_call("contender", None)
+            except MisusedApi:
+                outcome["starved"] = True
+
+        runtime.kernel.spawn(client)
+        runtime.kernel.run()
+        assert outcome.get("starved") is True

@@ -1,0 +1,285 @@
+"""Property-based tests (hypothesis) on Beldi's core invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BeldiConfig, BeldiRuntime
+from repro.core import daal
+from repro.platform import CrashPolicy, FunctionCrashed
+from repro.platform.errors import TooManyRequests
+from repro.sim import RandomSource
+
+FAST = dict(deadline=None, max_examples=25,
+            suppress_health_check=[HealthCheck.too_slow,
+                                   HealthCheck.data_too_large])
+
+
+class SeededCrash(CrashPolicy):
+    """Crash pseudo-randomly, at most ``budget`` times, from a seed."""
+
+    def __init__(self, seed: int, p: float, budget: int):
+        self.rand = RandomSource(seed, "crash")
+        self.p = p
+        self.budget = budget
+
+    def should_crash(self, function, invocation_index, tag):
+        if self.budget <= 0 or tag in ("enter",):
+            return False
+        if self.rand.random() < self.p:
+            self.budget -= 1
+            return True
+        return False
+
+
+def run_with_recovery(runtime, entry, payloads, horizon=20_000.0):
+    outcomes = []
+
+    def client(payload):
+        try:
+            outcomes.append(runtime.client_call(entry, payload))
+        except (FunctionCrashed, TooManyRequests):
+            outcomes.append("crashed")
+
+    runtime.start_collectors(ic_period=100.0, gc_period=1e11)
+    for i, payload in enumerate(payloads):
+        runtime.kernel.spawn(client, payload, delay=float(i) * 5.0)
+    runtime.kernel.run(until=horizon)
+    runtime.stop_collectors()
+    runtime.kernel.run(until=horizon + 5_000.0)
+    runtime.kernel.shutdown()
+    return outcomes
+
+
+class TestExactlyOnceProperty:
+    @given(seed=st.integers(0, 10_000), crashes=st.integers(0, 4))
+    @settings(**FAST)
+    def test_locked_counter_counts_requests_exactly(self, seed, crashes):
+        """For any crash schedule, N lock-protected read-modify-writes
+        move the counter by exactly N.
+
+        (Without the lock this property is rightly false: a crashed
+        instance's replayed read is its *original* logged read, which is
+        a legal racy interleaving — exactly-once, not serializability.
+        §6.1's locks-with-intent are what make the counter exact.)
+        """
+        runtime = BeldiRuntime(seed=7, config=BeldiConfig(
+            ic_restart_delay=50.0, gc_t=1e12, lock_retry_backoff=5.0,
+            lock_retry_limit=2000))
+        runtime.platform.crash_policy = SeededCrash(seed, p=0.15,
+                                                    budget=crashes)
+
+        def handler(ctx, payload):
+            ctx.lock("kv", "n")
+            n = ctx.read("kv", "n") or 0
+            ctx.write("kv", "n", n + 1)
+            ctx.unlock("kv", "n")
+            return n + 1
+
+        ssf = runtime.register_ssf("inc", handler, tables=["kv"])
+        requests = 3
+        run_with_recovery(runtime, "inc", [None] * requests)
+        assert ssf.env.peek("kv", "n") == requests
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(**FAST)
+    def test_unlocked_replay_is_a_legal_interleaving(self, seed):
+        """Without locks, the final counter must still be one of the
+        values a crash-free concurrent interleaving could produce
+        (between 1 and N) — never 0, never more than N."""
+        runtime = BeldiRuntime(seed=7, config=BeldiConfig(
+            ic_restart_delay=50.0, gc_t=1e12))
+        runtime.platform.crash_policy = SeededCrash(seed, p=0.2, budget=2)
+
+        def handler(ctx, payload):
+            n = ctx.read("kv", "n") or 0
+            ctx.write("kv", "n", n + 1)
+            return n + 1
+
+        ssf = runtime.register_ssf("inc", handler, tables=["kv"])
+        requests = 3
+        run_with_recovery(runtime, "inc", [None] * requests)
+        final = ssf.env.peek("kv", "n")
+        assert final is not None and 1 <= final <= requests
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(**FAST)
+    def test_invoke_fanout_exactly_once(self, seed):
+        """Caller fans out to two callees; all ledgers settle exactly."""
+        runtime = BeldiRuntime(seed=3, config=BeldiConfig(
+            ic_restart_delay=50.0, gc_t=1e12, lock_retry_backoff=5.0,
+            lock_retry_limit=2000))
+        runtime.platform.crash_policy = SeededCrash(seed, p=0.1, budget=3)
+
+        def ledger(ctx, payload):
+            ctx.lock("books", "sum")
+            total = (ctx.read("books", "sum") or 0) + payload
+            ctx.write("books", "sum", total)
+            ctx.unlock("books", "sum")
+            return total
+
+        led_a = runtime.register_ssf("led_a", ledger, tables=["books"])
+        led_b = runtime.register_ssf("led_b", ledger, tables=["books"])
+
+        def entry(ctx, payload):
+            ctx.sync_invoke("led_a", 3)
+            ctx.sync_invoke("led_b", 4)
+            return "ok"
+
+        runtime.register_ssf("entry", entry)
+        run_with_recovery(runtime, "entry", [None, None])
+        assert led_a.env.peek("books", "sum") == 6
+        assert led_b.env.peek("books", "sum") == 8
+
+
+class TestTransactionProperties:
+    @given(transfers=st.lists(
+        st.tuples(st.sampled_from(["ann", "bob", "cyn"]),
+                  st.sampled_from(["ann", "bob", "cyn"]),
+                  st.integers(1, 40)),
+        min_size=1, max_size=6))
+    @settings(**FAST)
+    def test_money_conserved_and_non_negative(self, transfers):
+        runtime = BeldiRuntime(seed=21, config=BeldiConfig(
+            ic_restart_delay=50.0, gc_t=1e12, lock_retry_backoff=5.0,
+            lock_retry_limit=300))
+
+        def transfer(ctx, payload):
+            src, dst, amount = payload
+            if src == dst:
+                return "self"
+            with ctx.transaction() as tx:
+                a = ctx.read("accts", src)
+                b = ctx.read("accts", dst)
+                if a < amount:
+                    ctx.abort_tx()
+                ctx.write("accts", src, a - amount)
+                ctx.write("accts", dst, b + amount)
+            return tx.outcome
+
+        ssf = runtime.register_ssf("transfer", transfer,
+                                   tables=["accts"])
+        for name in ("ann", "bob", "cyn"):
+            ssf.env.seed("accts", name, 50)
+        run_with_recovery(runtime, "transfer", transfers)
+        balances = [ssf.env.peek("accts", name)
+                    for name in ("ann", "bob", "cyn")]
+        assert sum(balances) == 150
+        assert all(b >= 0 for b in balances)
+
+    @given(seed=st.integers(0, 5_000))
+    @settings(**FAST)
+    def test_paired_keys_stay_equal(self, seed):
+        """Every committed txn writes x == y; opacity means no reader
+        (even a doomed one) observes x != y."""
+        runtime = BeldiRuntime(seed=seed % 17, config=BeldiConfig(
+            ic_restart_delay=50.0, gc_t=1e12, lock_retry_backoff=5.0,
+            lock_retry_limit=300))
+        violations = []
+
+        def bump(ctx, payload):
+            with ctx.transaction() as tx:
+                x = ctx.read("kv", "x") or 0
+                y = ctx.read("kv", "y") or 0
+                if x != y:
+                    violations.append((x, y))
+                ctx.write("kv", "x", x + 1)
+                ctx.write("kv", "y", y + 1)
+            return tx.outcome
+
+        ssf = runtime.register_ssf("bump", bump, tables=["kv"])
+        outcomes = run_with_recovery(runtime, "bump", [None] * 3)
+        assert not violations
+        committed = outcomes.count("committed")
+        assert ssf.env.peek("kv", "x") == ssf.env.peek("kv", "y")
+        if committed:
+            assert ssf.env.peek("kv", "x") == committed
+
+
+class TestDAALStructuralInvariants:
+    @given(writes=st.lists(st.integers(0, 99), min_size=1, max_size=40),
+           capacity=st.integers(1, 6))
+    @settings(**FAST)
+    def test_chain_structure_after_writes(self, writes, capacity):
+        """After any write sequence: a single reachable chain, the tail
+        holds the last value, interior rows are full, and log entries
+        count exactly the number of writes."""
+        runtime = BeldiRuntime(seed=5, config=BeldiConfig(
+            row_log_capacity=capacity, gc_t=1e12))
+
+        def handler(ctx, payload):
+            for value in payload:
+                ctx.write("kv", "k", value)
+            return "ok"
+
+        ssf = runtime.register_ssf("w", handler, tables=["kv"])
+        runtime.run_workflow("w", list(writes))
+        runtime.kernel.shutdown()
+        env = ssf.env
+        table = env.data_table("kv")
+        skeleton = daal.load_skeleton(env.store, table, "k")
+        rows = [env.store.get(table, ("k", rid))
+                for rid in skeleton.reachable]
+        # Tail value is the last write.
+        assert rows[-1]["Value"] == writes[-1]
+        # Interior rows are exactly full; only the tail may have space.
+        for row in rows[:-1]:
+            assert row["LogSize"] == capacity
+            assert "NextRow" in row
+        assert "NextRow" not in rows[-1]
+        # Exactly one log entry per write, across the chain.
+        total_entries = sum(len(r["RecentWrites"]) for r in rows)
+        assert total_entries == len(writes)
+        # No orphans in a crash-free run.
+        assert skeleton.orphans == []
+
+    @given(n_writers=st.integers(2, 5), per_writer=st.integers(1, 6),
+           capacity=st.integers(1, 4))
+    @settings(**FAST)
+    def test_concurrent_writers_never_lose_log_entries(
+            self, n_writers, per_writer, capacity):
+        """Any interleaving of concurrent writers yields one entry per
+        write and a consistent chain."""
+        runtime = BeldiRuntime(seed=2, config=BeldiConfig(
+            row_log_capacity=capacity, gc_t=1e12), latency_scale=1.0)
+
+        def handler(ctx, payload):
+            for i in range(per_writer):
+                ctx.write("kv", "k", (payload, i))
+            return "ok"
+
+        ssf = runtime.register_ssf("w", handler, tables=["kv"])
+        for w in range(n_writers):
+            runtime.kernel.spawn(
+                lambda w=w: runtime.client_call("w", w),
+                delay=float(w) * 0.5)
+        runtime.kernel.run()
+        runtime.kernel.shutdown()
+        env = ssf.env
+        table = env.data_table("kv")
+        skeleton = daal.load_skeleton(env.store, table, "k")
+        rows = [env.store.get(table, ("k", rid))
+                for rid in skeleton.reachable]
+        total_entries = sum(len(r["RecentWrites"]) for r in rows)
+        assert total_entries == n_writers * per_writer
+        # Every log key is unique across the chain.
+        seen = set()
+        for row in rows:
+            for log_key in row["RecentWrites"]:
+                assert log_key not in seen
+                seen.add(log_key)
+
+
+class TestLogKeyProperties:
+    @given(instance=st.text(
+        alphabet=st.characters(blacklist_characters="#",
+                               min_codepoint=33, max_codepoint=126),
+        min_size=1, max_size=40),
+        step=st.integers(0, 10_000))
+    @settings(**FAST)
+    def test_encode_decode_roundtrip(self, instance, step):
+        from repro.core import logkeys
+        encoded = logkeys.encode(instance, step)
+        assert logkeys.decode(encoded) == (instance, step)
+        assert logkeys.instance_of(encoded) == instance

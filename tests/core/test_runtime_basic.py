@@ -1,0 +1,228 @@
+"""End-to-end tests of the Beldi runtime: happy paths first."""
+
+import pytest
+
+from repro.core import BeldiRuntime, TableNotDeclared
+
+
+@pytest.fixture
+def runtime():
+    rt = BeldiRuntime(seed=11)
+    yield rt
+    rt.kernel.shutdown()
+
+
+class TestSingleSSF:
+    def test_simple_read_write(self, runtime):
+        def handler(ctx, payload):
+            ctx.write("kv", "greeting", payload)
+            return ctx.read("kv", "greeting")
+
+        ssf = runtime.register_ssf("hello", handler, tables=["kv"])
+        result = runtime.run_workflow("hello", "hi there")
+        assert result == "hi there"
+        assert ssf.env.peek("kv", "greeting") == "hi there"
+
+    def test_read_missing_returns_none(self, runtime):
+        runtime.register_ssf("reader",
+                             lambda ctx, p: ctx.read("kv", "ghost"),
+                             tables=["kv"])
+        assert runtime.run_workflow("reader") is None
+
+    def test_counter_increments_once_per_request(self, runtime):
+        def handler(ctx, payload):
+            count = ctx.read("kv", "counter") or 0
+            ctx.write("kv", "counter", count + 1)
+            return count + 1
+
+        ssf = runtime.register_ssf("counter", handler, tables=["kv"])
+        for expected in (1, 2, 3):
+            assert runtime.run_workflow("counter") == expected
+        assert ssf.env.peek("kv", "counter") == 3
+
+    def test_cond_write_outcomes(self, runtime):
+        from repro.kvstore import Eq
+        from repro.kvstore.expressions import path
+
+        def handler(ctx, payload):
+            ctx.write("kv", "item", {"state": "open"})
+            first = ctx.cond_write("kv", "item", {"state": "claimed"},
+                                   Eq(path("Value", "state"), "open"))
+            second = ctx.cond_write("kv", "item", {"state": "claimed2"},
+                                    Eq(path("Value", "state"), "open"))
+            return [first, second]
+
+        ssf = runtime.register_ssf("claimer", handler, tables=["kv"])
+        assert runtime.run_workflow("claimer") == [True, False]
+        assert ssf.env.peek("kv", "item") == {"state": "claimed"}
+
+    def test_undeclared_table_rejected(self, runtime):
+        def handler(ctx, payload):
+            return ctx.read("secret", "k")
+
+        runtime.register_ssf("snoop", handler, tables=["kv"])
+        with pytest.raises(TableNotDeclared):
+            runtime.run_workflow("snoop")
+
+    def test_values_can_be_structured(self, runtime):
+        def handler(ctx, payload):
+            ctx.write("kv", "doc", {"tags": ["a", "b"], "n": 3})
+            return ctx.read("kv", "doc")
+
+        runtime.register_ssf("docs", handler, tables=["kv"])
+        assert runtime.run_workflow("docs") == {"tags": ["a", "b"], "n": 3}
+
+    def test_record_logs_nondeterminism(self, runtime):
+        def handler(ctx, payload):
+            return ctx.fresh_id()
+
+        runtime.register_ssf("ids", handler, tables=[])
+        first = runtime.run_workflow("ids")
+        second = runtime.run_workflow("ids")
+        assert first != second
+
+
+class TestChainGrowth:
+    def test_many_writes_grow_the_chain(self, runtime):
+        from repro.core import daal
+
+        def handler(ctx, payload):
+            for i in range(30):
+                ctx.write("kv", "hot", i)
+            return ctx.read("kv", "hot")
+
+        ssf = runtime.register_ssf("writer", handler, tables=["kv"])
+        assert runtime.run_workflow("writer") == 29
+        length = daal.chain_length(ssf.env.store,
+                                   ssf.env.data_table("kv"), "hot")
+        # 30 writes at capacity 8 need at least 4 rows.
+        assert length >= 4
+        assert ssf.env.peek("kv", "hot") == 29
+
+    def test_interleaved_keys_grow_independent_chains(self, runtime):
+        from repro.core import daal
+
+        def handler(ctx, payload):
+            for i in range(10):
+                ctx.write("kv", "a", i)
+            ctx.write("kv", "b", "solo")
+            return True
+
+        ssf = runtime.register_ssf("writer", handler, tables=["kv"])
+        runtime.run_workflow("writer")
+        table = ssf.env.data_table("kv")
+        assert daal.chain_length(ssf.env.store, table, "a") >= 2
+        assert daal.chain_length(ssf.env.store, table, "b") == 1
+
+
+class TestInvocation:
+    def test_sync_invoke_returns_value(self, runtime):
+        runtime.register_ssf("adder", lambda ctx, p: p["a"] + p["b"])
+
+        def driver(ctx, payload):
+            return ctx.sync_invoke("adder", {"a": 2, "b": 3})
+
+        runtime.register_ssf("driver", driver)
+        assert runtime.run_workflow("driver") == 5
+
+    def test_nested_workflow_three_deep(self, runtime):
+        runtime.register_ssf("leaf", lambda ctx, p: p * 2)
+        runtime.register_ssf(
+            "middle", lambda ctx, p: ctx.sync_invoke("leaf", p) + 1)
+        runtime.register_ssf(
+            "root", lambda ctx, p: ctx.sync_invoke("middle", p) * 10)
+        assert runtime.run_workflow("root", 4) == 90
+
+    def test_callee_state_survives(self, runtime):
+        def bank(ctx, payload):
+            balance = ctx.read("accounts", payload["user"]) or 0
+            balance += payload["amount"]
+            ctx.write("accounts", payload["user"], balance)
+            return balance
+
+        bank_ssf = runtime.register_ssf("bank", bank, tables=["accounts"])
+
+        def driver(ctx, payload):
+            ctx.sync_invoke("bank", {"user": "ann", "amount": 50})
+            return ctx.sync_invoke("bank", {"user": "ann", "amount": 25})
+
+        runtime.register_ssf("driver2", driver)
+        assert runtime.run_workflow("driver2") == 75
+        assert bank_ssf.env.peek("accounts", "ann") == 75
+
+    def test_callback_recorded_in_invoke_log(self, runtime):
+        runtime.register_ssf("leaf", lambda ctx, p: "leafy")
+
+        def driver(ctx, payload):
+            return ctx.sync_invoke("leaf", None)
+
+        ssf = runtime.register_ssf("driver3", driver)
+        assert runtime.run_workflow("driver3") == "leafy"
+        logs = ssf.env.store.scan(ssf.env.invoke_log).items
+        assert len(logs) == 1
+        assert logs[0]["Result"] == "leafy"
+        assert logs[0]["Callee"] == "leaf"
+
+    def test_async_invoke_runs_to_completion(self, runtime):
+        sink = runtime.create_env("sink-env", tables=["inbox"])
+
+        def sink_handler(ctx, payload):
+            ctx.write("inbox", payload["id"], payload["msg"])
+            return "stored"
+
+        runtime.register_ssf("sink", sink_handler, env=sink)
+
+        def driver(ctx, payload):
+            ctx.async_invoke("sink", {"id": "m1", "msg": "hello"})
+            return "sent"
+
+        runtime.register_ssf("driver4", driver)
+        assert runtime.run_workflow("driver4") == "sent"
+        # Let the async execution drain.
+        runtime.kernel.run()
+        assert sink.peek("inbox", "m1") == "hello"
+
+    def test_recursive_ssf(self, runtime):
+        def fact(ctx, payload):
+            n = payload["n"]
+            if n <= 1:
+                return 1
+            return n * ctx.sync_invoke("fact", {"n": n - 1})
+
+        runtime.register_ssf("fact", fact)
+        assert runtime.run_workflow("fact", {"n": 5}) == 120
+
+
+class TestIntentLifecycle:
+    def test_intent_marked_done(self, runtime):
+        ssf = runtime.register_ssf("noop", lambda ctx, p: "ok")
+        runtime.run_workflow("noop")
+        intents = ssf.env.store.scan(ssf.env.intent_table).items
+        assert len(intents) == 1
+        assert intents[0]["Done"] is True
+        assert intents[0]["Ret"] == "ok"
+        assert "Pending" not in intents[0]
+
+    def test_duplicate_delivery_returns_cached_result(self, runtime):
+        calls = []
+
+        def handler(ctx, payload):
+            calls.append(1)
+            count = ctx.read("kv", "c") or 0
+            ctx.write("kv", "c", count + 1)
+            return count + 1
+
+        ssf = runtime.register_ssf("once", handler, tables=["kv"])
+
+        def client():
+            first = runtime.platform.sync_invoke(
+                "once", {"kind": "call", "instance_id": "fixed-id",
+                         "input": None})
+            second = runtime.platform.sync_invoke(
+                "once", {"kind": "call", "instance_id": "fixed-id",
+                         "input": None})
+            assert first == second == 1
+
+        runtime.kernel.spawn(client)
+        runtime.kernel.run()
+        assert ssf.env.peek("kv", "c") == 1

@@ -1,0 +1,436 @@
+"""Transactions (§6.2): opacity, wait-die, shadow tables, 2PC propagation."""
+
+import pytest
+
+from repro.core import BeldiConfig, BeldiRuntime, TxnAborted
+from repro.platform import FunctionCrashed
+from repro.platform.crashes import CrashOnce
+
+
+@pytest.fixture
+def runtime():
+    rt = BeldiRuntime(seed=9, config=BeldiConfig(
+        ic_restart_delay=50.0, gc_t=1e12, lock_retry_backoff=5.0,
+        lock_retry_limit=200))
+    yield rt
+    rt.kernel.shutdown()
+
+
+class TestSingleSSFTransactions:
+    def test_commit_applies_writes(self, runtime):
+        def handler(ctx, payload):
+            with ctx.transaction() as tx:
+                balance = ctx.read("accts", "ann") or 100
+                ctx.write("accts", "ann", balance - 30)
+                ctx.write("accts", "bob", 30)
+            return tx.outcome
+
+        ssf = runtime.register_ssf("transfer", handler, tables=["accts"])
+        assert runtime.run_workflow("transfer") == "committed"
+        assert ssf.env.peek("accts", "ann") == 70
+        assert ssf.env.peek("accts", "bob") == 30
+
+    def test_abort_discards_writes(self, runtime):
+        def handler(ctx, payload):
+            ctx.write("accts", "ann", 100)
+            with ctx.transaction() as tx:
+                ctx.write("accts", "ann", 0)
+                ctx.abort_tx()
+            return tx.outcome
+
+        ssf = runtime.register_ssf("aborter", handler, tables=["accts"])
+        assert runtime.run_workflow("aborter") == "aborted"
+        assert ssf.env.peek("accts", "ann") == 100
+
+    def test_abort_releases_locks(self, runtime):
+        def aborter(ctx, payload):
+            with ctx.transaction():
+                ctx.write("accts", "x", 1)
+                ctx.abort_tx()
+            return "done"
+
+        def writer(ctx, payload):
+            ctx.write("accts", "x", 42)
+            return ctx.read("accts", "x")
+
+        shared = runtime.create_env("team", tables=["accts"])
+        runtime.register_ssf("aborter", aborter, env=shared)
+        runtime.register_ssf("writer", writer, env=shared)
+        assert runtime.run_workflow("aborter") == "done"
+        assert runtime.run_workflow("writer") == 42
+
+    def test_read_your_writes(self, runtime):
+        def handler(ctx, payload):
+            ctx.write("kv", "doc", "original")
+            with ctx.transaction():
+                ctx.write("kv", "doc", "draft")
+                inside = ctx.read("kv", "doc")
+            after = ctx.read("kv", "doc")
+            return [inside, after]
+
+        runtime.register_ssf("ryw", handler, tables=["kv"])
+        assert runtime.run_workflow("ryw") == ["draft", "draft"]
+
+    def test_uncommitted_writes_invisible_before_commit(self, runtime):
+        observed = {}
+
+        def observer(ctx, payload):
+            return ctx.read("kv", "doc")
+
+        def writer(ctx, payload):
+            ctx.write("kv", "doc", "before")
+            with ctx.transaction():
+                ctx.write("kv", "doc", "during")
+                observed["mid"] = True
+                ctx.sleep(100.0)
+            return "done"
+
+        shared = runtime.create_env("team", tables=["kv"])
+        runtime.register_ssf("observer", observer, env=shared)
+        runtime.register_ssf("writer", writer, env=shared)
+
+        results = {}
+
+        def writer_client():
+            results["w"] = runtime.client_call("writer", None)
+
+        def observer_client():
+            # Runs while the writer's transaction is open. The write went
+            # to the shadow table, so the observer reads the old value...
+            # except 2PL blocks it on the lock until commit; either way it
+            # must never see "during"-then-rollback ghosts.
+            results["o"] = runtime.client_call("observer", None)
+
+        runtime.kernel.spawn(writer_client)
+        runtime.kernel.spawn(observer_client, delay=20.0)
+        runtime.kernel.run()
+        assert results["w"] == "done"
+        assert results["o"] in ("before", "during")
+
+    def test_cond_write_in_transaction(self, runtime):
+        from repro.kvstore import Gt
+        from repro.kvstore.expressions import path
+
+        def handler(ctx, payload):
+            ctx.write("stock", "widget", {"count": 1})
+            outcomes = []
+            with ctx.transaction():
+                outcomes.append(ctx.cond_write(
+                    "stock", "widget", {"count": 0},
+                    Gt(path("Value", "count"), 0)))
+                outcomes.append(ctx.cond_write(
+                    "stock", "widget", {"count": -1},
+                    Gt(path("Value", "count"), 0)))
+            return outcomes
+
+        ssf = runtime.register_ssf("seller", handler, tables=["stock"])
+        assert runtime.run_workflow("seller") == [True, False]
+        assert ssf.env.peek("stock", "widget") == {"count": 0}
+
+    def test_sequential_transactions_in_one_instance(self, runtime):
+        def handler(ctx, payload):
+            with ctx.transaction() as t1:
+                ctx.write("kv", "a", 1)
+            with ctx.transaction() as t2:
+                ctx.write("kv", "a", 2)
+            return [t1.outcome, t2.outcome]
+
+        ssf = runtime.register_ssf("seq", handler, tables=["kv"])
+        assert runtime.run_workflow("seq") == ["committed", "committed"]
+        assert ssf.env.peek("kv", "a") == 2
+
+
+class TestCrossSSFTransactions:
+    def _build_travel_like(self, runtime, hotel_rooms=1, flight_seats=1):
+        """A miniature hotel+flight reservation pair (the paper's §7.1)."""
+        from repro.kvstore import Gt
+        from repro.kvstore.expressions import path
+
+        def reserve_hotel(ctx, payload):
+            ok = ctx.cond_write("rooms", payload["hotel"],
+                                {"left": ctx.read("rooms",
+                                                  payload["hotel"])["left"]
+                                 - 1},
+                                Gt(path("Value", "left"), 0))
+            if not ok:
+                ctx.abort_tx()
+            return "hotel-ok"
+
+        def reserve_flight(ctx, payload):
+            seats = ctx.read("seats", payload["flight"])
+            if seats["left"] <= 0:
+                ctx.abort_tx()
+            ctx.write("seats", payload["flight"],
+                      {"left": seats["left"] - 1})
+            return "flight-ok"
+
+        self.hotel = runtime.register_ssf("hotel", reserve_hotel,
+                                          tables=["rooms"])
+        self.flight = runtime.register_ssf("flight", reserve_flight,
+                                           tables=["seats"])
+        self.hotel.env.seed("rooms", "H1", {"left": hotel_rooms})
+        self.flight.env.seed("seats", "F1", {"left": flight_seats})
+
+        def reserve(ctx, payload):
+            with ctx.transaction() as tx:
+                ctx.sync_invoke("hotel", {"hotel": "H1"})
+                ctx.sync_invoke("flight", {"flight": "F1"})
+            return tx.outcome
+
+        runtime.register_ssf("reserve", reserve)
+
+    def test_commit_spans_ssfs(self, runtime):
+        self._build_travel_like(runtime)
+        assert runtime.run_workflow("reserve") == "committed"
+        assert self.hotel.env.peek("rooms", "H1") == {"left": 0}
+        assert self.flight.env.peek("seats", "F1") == {"left": 0}
+
+    def test_abort_in_second_callee_rolls_back_first(self, runtime):
+        self._build_travel_like(runtime, hotel_rooms=5, flight_seats=0)
+        assert runtime.run_workflow("reserve") == "aborted"
+        # The hotel decrement must NOT have been applied.
+        assert self.hotel.env.peek("rooms", "H1") == {"left": 5}
+        assert self.flight.env.peek("seats", "F1") == {"left": 0}
+
+    def test_all_or_nothing_under_contention(self, runtime):
+        """N concurrent reservations against 1 room + 1 seat: exactly one
+        commits, and room/seat counts never go negative."""
+        self._build_travel_like(runtime, hotel_rooms=1, flight_seats=1)
+        outcomes = []
+        for i in range(4):
+            runtime.kernel.spawn(
+                lambda: outcomes.append(
+                    runtime.client_call("reserve", None)),
+                delay=float(i))
+        runtime.kernel.run()
+        assert sorted(outcomes) == ["aborted", "aborted", "aborted",
+                                    "committed"]
+        assert self.hotel.env.peek("rooms", "H1") == {"left": 0}
+        assert self.flight.env.peek("seats", "F1") == {"left": 0}
+
+    def test_commit_crash_recovers(self, runtime):
+        """Crash mid-commit: replay finishes the flush and the signals."""
+        self._build_travel_like(runtime)
+        # Crash the coordinator right after its local flush, before it
+        # propagated Commit to the callees.
+        runtime.platform.crash_policy = _CrashOnTagSubstring(
+            "reserve", "resolved-local")
+        outcome = {}
+
+        def client():
+            try:
+                outcome["r"] = runtime.client_call("reserve", None)
+            except FunctionCrashed:
+                outcome["crashed"] = True
+
+        runtime.start_collectors(ic_period=100.0, gc_period=1e11)
+        runtime.kernel.spawn(client)
+        runtime.kernel.run(until=5_000.0)
+        runtime.stop_collectors()
+        runtime.kernel.run(until=8_000.0)
+        assert self.hotel.env.peek("rooms", "H1") == {"left": 0}
+        assert self.flight.env.peek("seats", "F1") == {"left": 0}
+        # No lock may survive recovery.
+        for env, table, key in ((self.hotel.env, "rooms", "H1"),
+                                (self.flight.env, "seats", "F1")):
+            rows = env.store.query(env.data_table(table), key).items
+            assert all("LockOwner" not in r for r in rows)
+
+
+class TestCrashInsideTransaction:
+    def test_owner_crash_mid_body_does_not_abort(self, runtime):
+        """Regression: a platform kill inside the with-block must NOT run
+        the abort protocol. Releasing the locks on crash would let a
+        concurrent transaction slip between this one's logged reads and
+        its replayed commit — a lost update the chaos tests caught."""
+        runtime.platform.crash_policy = CrashOnce(
+            "spender", tag="invoke:2:start")
+
+        def bump(ctx, payload):
+            n = ctx.read("kv", payload) or 0
+            ctx.write("kv", payload, n + 1)
+            return n + 1
+
+        bump_ssf = runtime.register_ssf("bump", bump, tables=["kv"])
+
+        def spender(ctx, payload):
+            with ctx.transaction() as tx:
+                ctx.sync_invoke("bump", "x")
+                # steps: 0 begin, 1 invoke; crash at the second invoke
+                ctx.sync_invoke("bump", "y")
+            return tx.outcome
+
+        runtime.register_ssf("spender", spender)
+        outcome = {}
+
+        def client():
+            try:
+                outcome["r"] = runtime.client_call("spender", None)
+            except FunctionCrashed:
+                outcome["crashed"] = True
+
+        runtime.start_collectors(ic_period=200.0, gc_period=1e11)
+        runtime.kernel.spawn(client)
+        runtime.kernel.run(until=150.0)  # after the crash, before the IC
+        # Mid-recovery invariant: the crash must have left bump's lock on
+        # "x" in place (owned by the unfinished transaction).
+        table = bump_ssf.env.data_table("kv")
+        rows = bump_ssf.env.store.query(table, "x").items
+        assert any("LockOwner" in r for r in rows), \
+            "crash released transaction locks prematurely"
+        runtime.kernel.run(until=5_000.0)
+        runtime.stop_collectors()
+        runtime.kernel.run(until=8_000.0)
+        # Replay must have committed exactly once: both keys bumped, all
+        # locks released.
+        assert bump_ssf.env.peek("kv", "x") == 1
+        assert bump_ssf.env.peek("kv", "y") == 1
+        for key in ("x", "y"):
+            rows = bump_ssf.env.store.query(table, key).items
+            assert all("LockOwner" not in r for r in rows)
+
+
+class _CrashOnTagSubstring:
+    """Crash the first time a crash-point tag contains a substring."""
+
+    def __init__(self, function, needle):
+        self.function = function
+        self.needle = needle
+        self.fired = False
+
+    def should_crash(self, function, invocation_index, tag):
+        if (not self.fired and function == self.function
+                and self.needle in tag):
+            self.fired = True
+            return True
+        return False
+
+
+class TestWaitDie:
+    def test_younger_dies_older_waits(self, runtime):
+        """Two conflicting transactions in opposite lock orders must not
+        deadlock: the younger dies, the older commits."""
+        def mover(ctx, payload):
+            first, second = payload["order"]
+            with ctx.transaction() as tx:
+                a = ctx.read("kv", first) or 0
+                ctx.sleep(50.0)  # ensure the conflict window overlaps
+                b = ctx.read("kv", second) or 0
+                ctx.write("kv", first, a + 1)
+                ctx.write("kv", second, b + 1)
+            return tx.outcome
+
+        ssf = runtime.register_ssf("mover", mover, tables=["kv"])
+        outcomes = []
+        runtime.kernel.spawn(lambda: outcomes.append(
+            runtime.client_call("mover", {"order": ["x", "y"]})))
+        runtime.kernel.spawn(lambda: outcomes.append(
+            runtime.client_call("mover", {"order": ["y", "x"]})),
+            delay=10.0)
+        runtime.kernel.run()
+        assert "committed" in outcomes
+        # Both may commit (if serialized cleanly) or one aborted; but the
+        # run must terminate and the committed effects must be atomic.
+        x, y = ssf.env.peek("kv", "x"), ssf.env.peek("kv", "y")
+        assert x == y  # each committed txn increments both
+
+    def test_fig12_pattern_terminates_under_opacity(self, runtime):
+        """The Fig. 12 OCC infinite loop: with opacity (2PL) the loop
+        guard can never observe a fractured x/y pair, so it terminates."""
+        def fig12(ctx, payload):
+            with ctx.transaction() as tx:
+                x = ctx.read("kv", "x")
+                y = ctx.read("kv", "y")
+                spins = 0
+                while x != y:  # inconsistent snapshot would spin forever
+                    spins += 1
+                    assert spins < 3, "observed fractured read"
+                    x = ctx.read("kv", "x")
+                    y = ctx.read("kv", "y")
+                ctx.write("kv", "x", x + 3)
+                ctx.write("kv", "y", y + 3)
+            return tx.outcome
+
+        ssf = runtime.register_ssf("fig12", fig12, tables=["kv"])
+        ssf.env.seed("kv", "x", 0)
+        ssf.env.seed("kv", "y", 0)
+        outcomes = []
+        for i in range(3):
+            runtime.kernel.spawn(lambda: outcomes.append(
+                runtime.client_call("fig12", None)), delay=float(i))
+        runtime.kernel.run()
+        committed = outcomes.count("committed")
+        assert committed >= 1
+        assert ssf.env.peek("kv", "x") == committed * 3
+        assert ssf.env.peek("kv", "y") == committed * 3
+
+
+class TestTransactionInvariants:
+    def test_money_conserved_under_concurrency(self, runtime):
+        """Classic transfer invariant: total balance is conserved across
+        every interleaving of concurrent transactional transfers."""
+        def transfer(ctx, payload):
+            src, dst, amount = payload["src"], payload["dst"], payload["n"]
+            with ctx.transaction() as tx:
+                a = ctx.read("accts", src)
+                b = ctx.read("accts", dst)
+                if a < amount:
+                    ctx.abort_tx()
+                ctx.write("accts", src, a - amount)
+                ctx.write("accts", dst, b + amount)
+            return tx.outcome
+
+        ssf = runtime.register_ssf("transfer", transfer, tables=["accts"])
+        ssf.env.seed("accts", "ann", 100)
+        ssf.env.seed("accts", "bob", 100)
+        transfers = [("ann", "bob", 30), ("bob", "ann", 45),
+                     ("ann", "bob", 10), ("bob", "ann", 80),
+                     ("ann", "bob", 60)]
+        for i, (src, dst, n) in enumerate(transfers):
+            runtime.kernel.spawn(
+                lambda p={"src": src, "dst": dst, "n": n}:
+                runtime.client_call("transfer", p),
+                delay=float(i) * 3.0)
+        runtime.kernel.run()
+        ann = ssf.env.peek("accts", "ann")
+        bob = ssf.env.peek("accts", "bob")
+        assert ann + bob == 200
+        assert ann >= 0 and bob >= 0
+
+    def test_nontransactional_ssf_inherits_txn(self, runtime):
+        """An SSF with no begin/end of its own, invoked inside a txn,
+        automatically locks and shadows (§6.2)."""
+        def plain_writer(ctx, payload):
+            ctx.write("kv", "item", payload)
+            return "wrote"
+
+        writer = runtime.register_ssf("plain", plain_writer,
+                                      tables=["kv"])
+
+        def owner(ctx, payload):
+            with ctx.transaction() as tx:
+                ctx.sync_invoke("plain", "txn-value")
+                if payload == "abort":
+                    ctx.abort_tx()
+            return tx.outcome
+
+        runtime.register_ssf("owner", owner)
+        assert runtime.run_workflow("owner", "commit") == "committed"
+        assert writer.env.peek("kv", "item") == "txn-value"
+        assert runtime.run_workflow("owner", "abort") == "aborted"
+        assert writer.env.peek("kv", "item") == "txn-value"  # unchanged
+
+    def test_async_invoke_rejected_in_txn(self, runtime):
+        from repro.core.errors import NotSupported
+        runtime.register_ssf("leaf", lambda ctx, p: "x")
+
+        def owner(ctx, payload):
+            with ctx.transaction():
+                try:
+                    ctx.async_invoke("leaf", None)
+                except NotSupported:
+                    return "rejected"
+            return "allowed"
+
+        runtime.register_ssf("owner", owner)
+        assert runtime.run_workflow("owner") == "rejected"

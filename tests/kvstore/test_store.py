@@ -1,0 +1,191 @@
+"""Unit tests for the KVStore facade: latency, metering, transactions."""
+
+import pytest
+
+from repro.kvstore import (
+    AttrNotExists,
+    ConditionFailed,
+    Eq,
+    KVStore,
+    KernelTimeSource,
+    Set,
+    TableExists,
+    TableNotFound,
+    ThrottledError,
+    TransactPut,
+    TransactUpdate,
+    TransactionCanceled,
+)
+from repro.kvstore.faults import FaultPolicy
+from repro.sim import LatencyModel, RandomSource, SimKernel
+
+
+@pytest.fixture
+def store():
+    s = KVStore()
+    s.create_table("data", hash_key="Key")
+    return s
+
+
+class TestTableManagement:
+    def test_create_and_use(self, store):
+        store.put("data", {"Key": "a", "V": 1})
+        assert store.get("data", "a")["V"] == 1
+
+    def test_duplicate_create_rejected(self, store):
+        with pytest.raises(TableExists):
+            store.create_table("data", hash_key="Key")
+
+    def test_ensure_table_idempotent(self, store):
+        t1 = store.ensure_table("data", hash_key="Key")
+        t2 = store.ensure_table("data", hash_key="Key")
+        assert t1 is t2
+
+    def test_unknown_table_rejected(self, store):
+        with pytest.raises(TableNotFound):
+            store.get("ghost", "a")
+
+    def test_drop_table(self, store):
+        store.drop_table("data")
+        with pytest.raises(TableNotFound):
+            store.get("data", "a")
+
+    def test_table_names_sorted(self, store):
+        store.create_table("alpha", hash_key="K")
+        assert store.table_names() == ["alpha", "data"]
+
+
+class TestMetering:
+    def test_reads_and_writes_counted(self, store):
+        store.put("data", {"Key": "a", "V": 1})
+        store.get("data", "a")
+        store.get("data", "a")
+        snap = store.metering.snapshot()
+        assert snap["write"]["count"] == 1
+        assert snap["read"]["count"] == 2
+
+    def test_bytes_metered(self, store):
+        store.put("data", {"Key": "a", "Blob": "x" * 2048})
+        assert store.metering.bytes_written >= 2048
+
+    def test_dollar_cost_positive(self, store):
+        store.put("data", {"Key": "a", "V": 1})
+        store.get("data", "a")
+        assert store.metering.dollar_cost() > 0
+
+    def test_diff_isolates_window(self, store):
+        store.put("data", {"Key": "a", "V": 1})
+        baseline = store.metering.copy()
+        store.get("data", "a")
+        delta = store.metering.diff(baseline)
+        assert "read" in delta and "write" not in delta
+
+
+class TestTransactWrite:
+    def test_cross_table_atomic_commit(self, store):
+        store.create_table("log", hash_key="LogKey")
+        store.transact_write([
+            TransactUpdate("data", ("a",), [Set("V", 1)]),
+            TransactPut("log", {"LogKey": "op1", "Done": True}),
+        ])
+        assert store.get("data", "a")["V"] == 1
+        assert store.get("log", "op1")["Done"] is True
+
+    def test_failing_condition_cancels_everything(self, store):
+        store.create_table("log", hash_key="LogKey")
+        store.put("log", {"LogKey": "op1"})
+        with pytest.raises(TransactionCanceled):
+            store.transact_write([
+                TransactUpdate("data", ("a",), [Set("V", 1)]),
+                TransactPut("log", {"LogKey": "op1"},
+                            condition=AttrNotExists("LogKey")),
+            ])
+        assert store.get("data", "a") is None
+
+    def test_empty_transaction_is_noop(self, store):
+        store.transact_write([])
+
+    def test_same_table_twice(self, store):
+        store.transact_write([
+            TransactUpdate("data", ("a",), [Set("V", 1)]),
+            TransactUpdate("data", ("b",), [Set("V", 2)]),
+        ])
+        assert store.get("data", "b")["V"] == 2
+
+
+class TestFaultInjection:
+    def test_throttling_raises(self):
+        s = KVStore(rand=RandomSource(1),
+                    faults=FaultPolicy(throttle_probability=1.0))
+        s.create_table("data", hash_key="Key")
+        with pytest.raises(ThrottledError):
+            s.get("data", "a")
+
+    def test_no_faults_by_default(self, store):
+        for _ in range(100):
+            store.get("data", "a")
+
+
+class TestVirtualLatency:
+    def test_ops_consume_virtual_time_under_kernel(self):
+        kernel = SimKernel(seed=3)
+        rand = RandomSource(3)
+        store = KVStore(time_source=KernelTimeSource(kernel),
+                        latency=LatencyModel(rand.child("lat")),
+                        rand=rand.child("store"))
+        store.create_table("data", hash_key="Key")
+        durations = []
+
+        def body():
+            start = kernel.now
+            store.put("data", {"Key": "a", "V": 1})
+            store.get("data", "a")
+            durations.append(kernel.now - start)
+
+        kernel.spawn(body)
+        kernel.run()
+        kernel.shutdown()
+        assert durations and durations[0] > 0
+
+    def test_scan_latency_scales_with_rows(self):
+        kernel = SimKernel(seed=3)
+        rand = RandomSource(3)
+        spec = LatencyModel(rand.child("lat"))
+        store = KVStore(time_source=KernelTimeSource(kernel),
+                        latency=spec, rand=rand.child("store"))
+        store.create_table("data", hash_key="Key")
+        for i in range(500):
+            store.table("data").put({"Key": f"k{i:04d}"})
+        samples = {}
+
+        def body():
+            start = kernel.now
+            store.scan("data", limit=1)
+            samples["short"] = kernel.now - start
+            start = kernel.now
+            store.scan("data")
+            samples["long"] = kernel.now - start
+
+        kernel.spawn(body)
+        kernel.run()
+        kernel.shutdown()
+        assert samples["long"] > samples["short"]
+
+    def test_null_time_source_is_instant(self, store):
+        store.get("data", "a")
+        assert store.time.now() == 0.0
+
+
+class TestConditionFailures:
+    def test_condition_failed_propagates(self, store):
+        store.put("data", {"Key": "a", "N": 1})
+        with pytest.raises(ConditionFailed):
+            store.update("data", "a", [Set("N", 2)], condition=Eq("N", 9))
+
+    def test_storage_bytes_rollup(self, store):
+        store.create_table("other", hash_key="K")
+        store.put("data", {"Key": "a", "Blob": "x" * 100})
+        store.put("other", {"K": "b", "Blob": "y" * 50})
+        assert store.storage_bytes() >= 150
+        assert store.storage_bytes("other") >= 50
+        assert store.item_count("data") == 1

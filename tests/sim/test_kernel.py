@@ -1,0 +1,299 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import ProcessKilled, SimKernel
+
+
+@pytest.fixture
+def kernel():
+    k = SimKernel(seed=1)
+    yield k
+    k.shutdown()
+
+
+class TestBasicScheduling:
+    def test_single_process_runs(self, kernel):
+        trace = []
+        kernel.spawn(lambda: trace.append("ran"))
+        kernel.run()
+        assert trace == ["ran"]
+
+    def test_sleep_advances_virtual_time(self, kernel):
+        times = []
+
+        def body():
+            kernel.sleep(5.0)
+            times.append(kernel.now)
+            kernel.sleep(2.5)
+            times.append(kernel.now)
+
+        kernel.spawn(body)
+        kernel.run()
+        assert times == [5.0, 7.5]
+
+    def test_spawn_delay(self, kernel):
+        times = []
+        kernel.spawn(lambda: times.append(kernel.now), delay=3.0)
+        kernel.run()
+        assert times == [3.0]
+
+    def test_processes_interleave_by_time(self, kernel):
+        trace = []
+
+        def proc(name, first, second):
+            kernel.sleep(first)
+            trace.append((name, kernel.now))
+            kernel.sleep(second)
+            trace.append((name, kernel.now))
+
+        kernel.spawn(proc, "a", 1.0, 10.0)
+        kernel.spawn(proc, "b", 2.0, 2.0)
+        kernel.run()
+        assert trace == [("a", 1.0), ("b", 2.0), ("b", 4.0), ("a", 11.0)]
+
+    def test_fifo_order_at_equal_times(self, kernel):
+        trace = []
+        for i in range(5):
+            kernel.spawn(lambda i=i: trace.append(i), delay=1.0)
+        kernel.run()
+        assert trace == [0, 1, 2, 3, 4]
+
+    def test_run_until_horizon(self, kernel):
+        trace = []
+        kernel.spawn(lambda: trace.append("late"), delay=100.0)
+        kernel.run(until=50.0)
+        assert trace == []
+        assert kernel.now == 50.0
+        kernel.run()
+        assert trace == ["late"]
+
+    def test_process_result_captured(self, kernel):
+        proc = kernel.spawn(lambda: 42)
+        kernel.run()
+        assert proc.finished
+        assert proc.result == 42
+
+    def test_process_error_captured(self, kernel):
+        def boom():
+            raise ValueError("bad")
+
+        proc = kernel.spawn(boom)
+        kernel.run()
+        assert isinstance(proc.error, ValueError)
+
+    def test_zero_sleep_yields(self, kernel):
+        trace = []
+
+        def a():
+            trace.append("a1")
+            kernel.sleep(0.0)
+            trace.append("a2")
+
+        def b():
+            trace.append("b1")
+
+        kernel.spawn(a)
+        kernel.spawn(b)
+        kernel.run()
+        assert trace == ["a1", "b1", "a2"]
+
+
+class TestEvents:
+    def test_wait_and_set(self, kernel):
+        evt = kernel.event("e")
+        trace = []
+
+        def waiter():
+            kernel.wait(evt)
+            trace.append(("woke", kernel.now, evt.value))
+
+        def setter():
+            kernel.sleep(4.0)
+            evt.set("payload")
+
+        kernel.spawn(waiter)
+        kernel.spawn(setter)
+        kernel.run()
+        assert trace == [("woke", 4.0, "payload")]
+
+    def test_wait_on_already_set_event(self, kernel):
+        evt = kernel.event()
+        evt.set(1)
+        trace = []
+        kernel.spawn(lambda: trace.append(kernel.wait(evt)))
+        kernel.run()
+        assert trace == [True]
+
+    def test_wait_timeout(self, kernel):
+        evt = kernel.event()
+        results = []
+
+        def waiter():
+            results.append(kernel.wait(evt, timeout=2.0))
+            results.append(kernel.now)
+
+        kernel.spawn(waiter)
+        kernel.run()
+        assert results == [False, 2.0]
+
+    def test_event_beats_timeout(self, kernel):
+        evt = kernel.event()
+        results = []
+
+        def waiter():
+            results.append(kernel.wait(evt, timeout=10.0))
+            results.append(kernel.now)
+
+        kernel.spawn(waiter)
+        kernel.spawn(lambda: evt.set(), delay=1.0)
+        kernel.run()
+        assert results == [True, 1.0]
+        # The stale timeout wakeup must not disturb later execution.
+        assert kernel.run() >= 1.0
+
+    def test_multiple_waiters_all_wake(self, kernel):
+        evt = kernel.event()
+        woke = []
+        for i in range(4):
+            kernel.spawn(lambda i=i: (kernel.wait(evt), woke.append(i)))
+        kernel.spawn(lambda: evt.set(), delay=1.0)
+        kernel.run()
+        assert sorted(woke) == [0, 1, 2, 3]
+
+    def test_set_is_idempotent(self, kernel):
+        evt = kernel.event()
+        evt.set("first")
+        evt.set("second")
+        assert evt.value == "first"
+
+
+class TestJoin:
+    def test_join_returns_result(self, kernel):
+        results = []
+
+        def child():
+            kernel.sleep(3.0)
+            return "done"
+
+        def parent():
+            proc = kernel.spawn(child)
+            results.append(kernel.join(proc))
+            results.append(kernel.now)
+
+        kernel.spawn(parent)
+        kernel.run()
+        assert results == ["done", 3.0]
+
+    def test_join_reraises_child_error(self, kernel):
+        caught = []
+
+        def child():
+            raise RuntimeError("child failed")
+
+        def parent():
+            proc = kernel.spawn(child)
+            try:
+                kernel.join(proc)
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        kernel.spawn(parent)
+        kernel.run()
+        assert caught == ["child failed"]
+
+    def test_join_killed_child_returns_none(self, kernel):
+        def child():
+            kernel.sleep(100.0)
+
+        def parent():
+            proc = kernel.spawn(child)
+            kernel.sleep(1.0)
+            proc.kill()
+            assert kernel.join(proc) is None
+
+        parent_proc = kernel.spawn(parent)
+        kernel.run()
+        assert parent_proc.error is None
+
+
+class TestKill:
+    def test_kill_blocked_process(self, kernel):
+        trace = []
+
+        def victim():
+            trace.append("start")
+            kernel.sleep(100.0)
+            trace.append("never")
+
+        victim_proc = kernel.spawn(victim)
+
+        def killer():
+            kernel.sleep(5.0)
+            victim_proc.kill()
+
+        kernel.spawn(killer)
+        kernel.run()
+        assert trace == ["start"]
+        assert victim_proc.finished
+        assert isinstance(victim_proc.error, ProcessKilled)
+
+    def test_kill_before_start(self, kernel):
+        trace = []
+        victim = kernel.spawn(lambda: trace.append("ran"), delay=10.0)
+
+        def killer():
+            victim.kill()
+
+        kernel.spawn(killer)
+        kernel.run()
+        assert trace == []
+        assert victim.finished
+        assert isinstance(victim.error, ProcessKilled)
+
+    def test_kill_is_uncatchable_by_except_exception(self, kernel):
+        trace = []
+
+        def victim():
+            try:
+                kernel.sleep(100.0)
+            except Exception:  # noqa: BLE001 - the point of the test
+                trace.append("caught")
+
+        victim_proc = kernel.spawn(victim)
+        kernel.spawn(lambda: victim_proc.kill(), delay=1.0)
+        kernel.run()
+        assert trace == []
+        assert isinstance(victim_proc.error, ProcessKilled)
+
+    def test_kill_finished_process_is_noop(self, kernel):
+        proc = kernel.spawn(lambda: "ok")
+        kernel.run()
+        proc.kill()
+        kernel.run()
+        assert proc.result == "ok"
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        kernel = SimKernel(seed=seed)
+        trace = []
+
+        def worker(name, rand):
+            for _ in range(5):
+                kernel.sleep(rand.uniform(0.1, 2.0))
+                trace.append((name, round(kernel.now, 6)))
+
+        from repro.sim import RandomSource
+        root = RandomSource(seed)
+        for i in range(4):
+            kernel.spawn(worker, f"w{i}", root.child(f"w{i}"))
+        kernel.run()
+        kernel.shutdown()
+        return trace
+
+    def test_same_seed_same_trace(self):
+        assert self._run_once(7) == self._run_once(7)
+
+    def test_different_seed_different_trace(self):
+        assert self._run_once(7) != self._run_once(8)

@@ -1,0 +1,134 @@
+"""Tests for the load generator and latency recorder."""
+
+import pytest
+
+from repro.core import BaselineRuntime, BeldiRuntime
+from repro.platform import PlatformConfig
+from repro.sim import RandomSource
+from repro.workload import LatencyRecorder, run_constant_load, run_sweep
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        for latency in range(1, 101):
+            rec.record(0.0, float(latency))
+        assert rec.p50 == 50.0
+        assert rec.p99 == 99.0
+        assert rec.percentile(100.0) == 100.0
+
+    def test_empty_recorder_is_nan(self):
+        import math
+        rec = LatencyRecorder()
+        assert math.isnan(rec.p50)
+
+    def test_failures_not_in_latency_stats(self):
+        rec = LatencyRecorder()
+        rec.record(0.0, 10.0, "ok")
+        rec.record_failure("rejected")
+        assert rec.count == 1
+        assert rec.total("rejected") == 1
+
+    def test_time_series_buckets(self):
+        rec = LatencyRecorder(bucket_width=100.0)
+        rec.record(10.0, 15.0)    # bucket 0, latency 5
+        rec.record(50.0, 65.0)    # bucket 0, latency 15
+        rec.record(150.0, 160.0)  # bucket 1, latency 10
+        series = rec.series(q=50.0)
+        assert series == [(0.0, 5.0), (100.0, 10.0)]
+
+    def test_series_requires_bucket_width(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().series()
+
+
+class TestConstantLoad:
+    def _runtime(self, scale=1.0, cap=50):
+        runtime = BeldiRuntime(
+            seed=4, latency_scale=scale,
+            platform_config=PlatformConfig(concurrency_limit=cap))
+        runtime.register_ssf("echo", lambda ctx, p: p)
+        return runtime
+
+    def test_open_loop_offers_requested_rate(self):
+        runtime = self._runtime()
+        result = run_constant_load(
+            runtime, "echo", lambda rand: {"n": rand.randint(0, 9)},
+            rate_rps=50.0, duration_ms=2_000.0)
+        # 50 rps for 2 virtual seconds ~ 100 requests.
+        assert 90 <= result.completed <= 110
+        assert result.recorder.p50 > 0
+        runtime.kernel.shutdown()
+
+    def test_latency_measured_in_virtual_ms(self):
+        runtime = self._runtime()
+        result = run_constant_load(
+            runtime, "echo", lambda rand: None,
+            rate_rps=10.0, duration_ms=1_000.0)
+        # A single warm invoke is dominated by the dispatch latency
+        # (median ~12 virtual ms) plus cold-start effects early on.
+        assert 5.0 <= result.recorder.p50 <= 300.0
+        runtime.kernel.shutdown()
+
+    def test_saturation_rejects_clients(self):
+        runtime = BeldiRuntime(
+            seed=4, latency_scale=1.0,
+            platform_config=PlatformConfig(concurrency_limit=2))
+
+        def slow(ctx, payload):
+            ctx.sleep(500.0)
+            return "ok"
+
+        runtime.register_ssf("slow", slow)
+        result = run_constant_load(runtime, "slow", lambda rand: None,
+                                   rate_rps=40.0, duration_ms=1_000.0)
+        assert result.rejected > 0
+        runtime.kernel.shutdown()
+
+    def test_warmup_requests_excluded(self):
+        runtime = self._runtime()
+        result = run_constant_load(
+            runtime, "echo", lambda rand: None,
+            rate_rps=20.0, duration_ms=1_000.0, warmup_ms=500.0)
+        assert result.completed <= 25  # only the measured second counts
+        runtime.kernel.shutdown()
+
+    def test_deterministic_given_seed(self):
+        def one_run():
+            runtime = self._runtime()
+            result = run_constant_load(
+                runtime, "echo", lambda rand: rand.randint(0, 99),
+                rate_rps=30.0, duration_ms=1_000.0, seed=9)
+            runtime.kernel.shutdown()
+            return (result.completed, result.recorder.p50,
+                    result.recorder.p99)
+
+        assert one_run() == one_run()
+
+
+class TestSweep:
+    def test_sweep_builds_fresh_runtime_per_point(self):
+        built = []
+
+        def build():
+            runtime = BaselineRuntime(seed=2, latency_scale=1.0)
+            runtime.register_ssf("echo", lambda ctx, p: p)
+            built.append(runtime)
+            return runtime, "echo", lambda rand: None
+
+        points = run_sweep(build, rates=[10.0, 20.0],
+                           duration_ms=500.0)
+        assert len(points) == 2
+        assert len(built) == 2
+        assert points[1].result.completed > points[0].result.completed
+
+    def test_rows_are_reportable(self):
+        def build():
+            runtime = BaselineRuntime(seed=2, latency_scale=1.0)
+            runtime.register_ssf("echo", lambda ctx, p: p)
+            return runtime, "echo", lambda rand: None
+
+        (point,) = run_sweep(build, rates=[10.0], duration_ms=500.0)
+        row = point.row()
+        assert set(row) >= {"offered_rps", "achieved_rps", "p50_ms",
+                            "p99_ms", "completed", "rejected"}

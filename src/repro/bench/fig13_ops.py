@@ -66,9 +66,13 @@ def _build_runtime(mode: str, seed: int):
     if mode == "baseline":
         runtime = BaselineRuntime(seed=seed, latency_scale=1.0)
     else:
+        # Figures 13/25 reproduce the paper's measurements of the
+        # un-optimized protocol; the §4.4 fast path is benchmarked
+        # separately in benchmarks/test_fastpath_ablation.py.
         runtime = BeldiRuntime(
             seed=seed, latency_scale=1.0,
-            config=BeldiConfig(gc_t=1e12))
+            config=BeldiConfig(gc_t=1e12, tail_cache=False,
+                               batch_reads=False))
     return runtime
 
 
@@ -138,7 +142,9 @@ def traversal_ablation(chain_lengths=(2, 10, 25, 50),
     results = {}
     for rows in chain_lengths:
         runtime = BeldiRuntime(seed=seed, latency_scale=1.0,
-                               config=BeldiConfig(gc_t=1e12))
+                               config=BeldiConfig(gc_t=1e12,
+                                                  tail_cache=False,
+                                                  batch_reads=False))
         env = runtime.create_env("bench", tables=["kv"])
         table = env.data_table("kv")
         _pre_grow_chain(runtime.store, table, KEY, rows,

@@ -37,7 +37,8 @@ def _build(app_name: str, mode: str, seed: int, concurrency: int,
     elif mode == "beldi":
         runtime = BeldiRuntime(
             seed=seed, latency_scale=1.0,
-            config=BeldiConfig(gc_t=1e12, ic_restart_delay=1e12),
+            config=BeldiConfig(gc_t=1e12, ic_restart_delay=1e12,
+                               tail_cache=False, batch_reads=False),
             platform_config=_platform_config(concurrency))
     else:
         raise ValueError(f"unknown mode {mode!r}")

@@ -40,7 +40,8 @@ def gc_timeseries(gc_period_ms: Optional[float],
     """
     runtime = BeldiRuntime(
         seed=seed, latency_scale=1.0,
-        config=BeldiConfig(gc_t=gc_t_ms, ic_restart_delay=1e12),
+        config=BeldiConfig(gc_t=gc_t_ms, ic_restart_delay=1e12,
+                           tail_cache=False, batch_reads=False),
         platform_config=PlatformConfig(concurrency_limit=100))
 
     def writer(ctx, payload):

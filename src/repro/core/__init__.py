@@ -42,6 +42,7 @@ from repro.core.errors import (
     TxnAborted,
 )
 from repro.core.runtime import BeldiRuntime, SSFDefinition
+from repro.core.tailcache import TailCache, TailCacheStats, TailEntry
 from repro.core.txn import TransactionHandle, TxnContext
 
 __all__ = [
@@ -58,6 +59,9 @@ __all__ = [
     "NotSupported",
     "SSFDefinition",
     "TableNotDeclared",
+    "TailCache",
+    "TailCacheStats",
+    "TailEntry",
     "TransactionHandle",
     "TxnAborted",
     "TxnContext",

@@ -30,6 +30,19 @@ class BeldiConfig:
     gc_page_limit:
         Max intent-table records processed per GC run (Appendix A's
         bounded-collection refinement); ``None`` disables paging.
+    tail_cache:
+        §4.4 fast path: remember each item's tail row (and each logged
+        operation's position) so reads/writes/locks go straight to the
+        tail with one conditional get/update, falling back to the full
+        skeleton traversal only when the cached row proves stale. Also
+        enables the runtime's intent-status cache (re-delivered instances
+        skip the intent-table read once locally resolved). Off reproduces
+        the seed's query-per-operation behavior exactly.
+    batch_reads:
+        Coalesce N-row read fans (transaction commit/abort shadow-tail
+        fetches, GC liveness point-checks) into single
+        :meth:`~repro.kvstore.KVStore.batch_get` round trips. Off
+        reproduces the seed's one-get-per-row behavior exactly.
     """
 
     row_log_capacity: int = 8
@@ -40,3 +53,5 @@ class BeldiConfig:
     lock_retry_backoff: float = 10.0
     lock_retry_limit: int = 500
     gc_page_limit: int | None = None
+    tail_cache: bool = True
+    batch_reads: bool = True

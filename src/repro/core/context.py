@@ -56,6 +56,14 @@ class BeldiContext:
         """Intent-creation time: stable across re-executions."""
         return self.intent.get("StartTime", 0.0)
 
+    @property
+    def tail_cache(self):
+        """The runtime's §4.4 chain-position cache, or ``None`` when the
+        ``tail_cache`` flag is off (seed behavior)."""
+        if not getattr(self.config, "tail_cache", False):
+            return None
+        return getattr(self.runtime, "tail_cache", None)
+
     def next_step(self) -> int:
         step = self._step
         self._step += 1

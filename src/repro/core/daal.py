@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro.core.tailcache import TailCache
 from repro.kvstore import (
     And,
     AttrExists,
@@ -50,6 +51,8 @@ from repro.kvstore import (
 from repro.kvstore.expressions import Condition, Projection, path
 
 HEAD_ROW_ID = "HEAD"
+
+_MAX_TAIL_CHASE = 10_000  # defensive bound when chasing a stale tail
 
 # A Value sentinel for "item does not exist yet"; never exposed to apps.
 MISSING = "__beldi_missing__"
@@ -91,23 +94,34 @@ def ensure_head(store: KVStore, table: str, key: Any,
 
 
 def load_skeleton(store: KVStore, table: str, key: Any,
-                  probe_log_key: Optional[str] = None) -> Skeleton:
+                  probe_log_key: Optional[str] = None,
+                  cache: Optional[TailCache] = None) -> Skeleton:
     """One projected query -> local chain skeleton (§4.1 traversal).
 
     When ``probe_log_key`` is given, the projection additionally fetches
     ``RecentWrites.<log key>`` per row so the caller learns, from the same
     snapshot, whether its operation already executed — and with what
     logged outcome (needed by conditional writes).
+
+    When a :class:`TailCache` is given, the freshly observed tail (and its
+    log size, which rides along in the projection) is remembered so
+    subsequent operations on this item skip the traversal entirely.
     """
     columns = [path("RowId"), path("NextRow")]
+    if cache is not None:
+        # The tail's log size rides along for the cache; omitted on the
+        # seed path so flags-off byte accounting matches the seed exactly.
+        columns.append(path("LogSize"))
     if probe_log_key is not None:
         columns.append(path("RecentWrites", probe_log_key))
     result = store.query(table, key, projection=Projection(columns))
     next_of: dict[str, Optional[str]] = {}
+    size_of: dict[str, Optional[int]] = {}
     hit_of: dict[str, Any] = {}
     for row in result.items:
         row_id = row["RowId"]
         next_of[row_id] = row.get("NextRow")
+        size_of[row_id] = row.get("LogSize")
         if probe_log_key is not None:
             writes = row.get("RecentWrites") or {}
             if probe_log_key in writes:
@@ -123,8 +137,12 @@ def load_skeleton(store: KVStore, table: str, key: Any,
             log_hits[cursor] = hit_of[cursor]
         cursor = next_of[cursor]
     orphans = [row_id for row_id in next_of if row_id not in seen]
-    return Skeleton(key=key, reachable=reachable, orphans=orphans,
-                    log_hits=log_hits)
+    skeleton = Skeleton(key=key, reachable=reachable, orphans=orphans,
+                        log_hits=log_hits)
+    if cache is not None and skeleton.exists:
+        cache.remember_tail(table, key, skeleton.tail,
+                            size_of.get(skeleton.tail))
+    return skeleton
 
 
 def load_skeleton_by_pointer(store: KVStore, table: str,
@@ -154,9 +172,45 @@ def read_row(store: KVStore, table: str, key: Any,
     return store.get(table, (key, row_id))
 
 
-def tail_value(store: KVStore, table: str, key: Any) -> Any:
+def fast_tail_row(store: KVStore, table: str, key: Any,
+                  cache: Optional[TailCache]) -> Optional[dict]:
+    """Resolve the item's current tail row through the cache (§4.4).
+
+    One ``get`` on the cached row; if the row chained (or the GC
+    disconnected it — disconnected rows keep their ``NextRow``), chase
+    forward pointer by pointer, which re-joins the reachable chain. A
+    vanished row evicts the entry. Returns ``None`` when the cache cannot
+    resolve the tail — the caller falls back to the skeleton traversal.
+    Values are never cached, so a returned row is always a fresh,
+    linearizable read of the true tail.
+    """
+    if cache is None:
+        return None
+    entry = cache.tail_of(table, key)
+    if entry is None:
+        return None
+    row = read_row(store, table, key, entry.row_id)
+    chased = 0
+    while row is not None and "NextRow" in row and chased < _MAX_TAIL_CHASE:
+        row = read_row(store, table, key, row["NextRow"])
+        chased += 1
+    if row is None or "NextRow" in row:
+        cache.forget(table, key)
+        return None
+    if chased or entry.row_id != row["RowId"] or entry.log_size is None:
+        cache.remember_tail(table, key, row["RowId"], row.get("LogSize"))
+        if chased:
+            cache.stats.tail_fallbacks += 1
+    return row
+
+
+def tail_value(store: KVStore, table: str, key: Any,
+               cache: Optional[TailCache] = None) -> Any:
     """Current value of the item (``MISSING`` if the chain is absent)."""
-    skeleton = load_skeleton(store, table, key)
+    row = fast_tail_row(store, table, key, cache)
+    if row is not None:
+        return row.get("Value", MISSING)
+    skeleton = load_skeleton(store, table, key, cache=cache)
     if not skeleton.exists:
         return MISSING
     row = read_row(store, table, key, skeleton.tail)
@@ -166,7 +220,8 @@ def tail_value(store: KVStore, table: str, key: Any) -> Any:
 
 
 def append_row(store: KVStore, table: str, key: Any, prev_row: dict,
-               new_row_id: str) -> str:
+               new_row_id: str,
+               cache: Optional[TailCache] = None) -> str:
     """Extend the chain past a full row; returns the new tail's row id.
 
     Lock-free: create the candidate row, then CAS the predecessor's
@@ -204,6 +259,8 @@ def append_row(store: KVStore, table: str, key: Any, prev_row: dict,
                 [Set("NextRow", new_row_id)],
                 condition=And(AttrNotExists("NextRow"),
                               Eq("Version", prev_row.get("Version", 0))))
+            if cache is not None:
+                cache.remember_tail(table, key, new_row_id, 0)
             return new_row_id
         except ConditionFailed:
             refreshed = read_row(store, table, key, prev_id)
@@ -211,7 +268,12 @@ def append_row(store: KVStore, table: str, key: Any, prev_row: dict,
                 raise
             winner = refreshed.get("NextRow")
             if winner is not None:
-                return winner  # lost the race: adopt, orphan the copy
+                # Lost the race: adopt, orphan the copy. The winner is
+                # reachable (it was linked), so it is safe to remember —
+                # but its log size is unknown here.
+                if cache is not None:
+                    cache.remember_tail(table, key, winner, None)
+                return winner
             # Predecessor mutated under us (flush/unlock/another log
             # entry): re-snapshot and retry with fresh contents.
             prev_row = refreshed
@@ -248,26 +310,36 @@ def lock_free_condition(owner_id: str) -> Condition:
 
 
 def flush_value(store: KVStore, table: str, key: Any, value: Any,
-                txn_id: str) -> bool:
+                txn_id: str,
+                cache: Optional[TailCache] = None) -> bool:
     """Commit-phase write: install ``value`` and release the lock, atomically.
 
     Runs with only at-least-once semantics; idempotency comes from the
     ``LockOwner.Id == txn_id`` condition — once the first flush lands and
     releases the lock, every retry fails the condition and backs off.
     Returns True if this call performed the flush.
+
+    With a cache the tail resolves through :func:`fast_tail_row` (one
+    ``get`` on the hot path); the conditional update's own
+    ``AttrNotExists(NextRow)`` guard makes a stale cached tail fail
+    safely, after which the skeleton traversal repairs the cache.
     """
     while True:
-        skeleton = load_skeleton(store, table, key)
-        if not skeleton.exists:
-            return False
-        tail_id = skeleton.tail
-        row = read_row(store, table, key, tail_id)
+        row = fast_tail_row(store, table, key, cache)
         if row is None:
-            continue
+            skeleton = load_skeleton(store, table, key, cache=cache)
+            if not skeleton.exists:
+                return False
+            row = read_row(store, table, key, skeleton.tail)
+            if row is None:
+                continue
+        tail_id = row["RowId"]
         owner = row.get("LockOwner")
         if not owner or owner.get("Id") != txn_id:
             return False  # already flushed (and unlocked) by a peer
         if "NextRow" in row:
+            if cache is not None:
+                cache.forget(table, key)
             continue  # stale tail; rebuild the skeleton
         try:
             store.update(
@@ -280,23 +352,34 @@ def flush_value(store: KVStore, table: str, key: Any, value: Any,
         except ConditionFailed:
             refreshed = read_row(store, table, key, tail_id)
             if refreshed is None:
+                if cache is not None:
+                    cache.forget(table, key)
                 continue
             owner = refreshed.get("LockOwner")
             if not owner or owner.get("Id") != txn_id:
                 return False
             # Tail changed under us (our own earlier lock/append traffic);
             # follow the chain and retry.
+            if cache is not None and "NextRow" in refreshed:
+                cache.forget(table, key)
             continue
 
 
 def release_lock(store: KVStore, table: str, key: Any,
-                 owner_id: str) -> bool:
+                 owner_id: str,
+                 cache: Optional[TailCache] = None) -> bool:
     """Abort-phase unlock (no value install); idempotent like flush."""
     while True:
-        skeleton = load_skeleton(store, table, key)
-        if not skeleton.exists:
-            return False
-        tail_id = skeleton.tail
+        tail_id = None
+        if cache is not None:
+            entry = cache.tail_of(table, key)
+            if entry is not None:
+                tail_id = entry.row_id
+        if tail_id is None:
+            skeleton = load_skeleton(store, table, key, cache=cache)
+            if not skeleton.exists:
+                return False
+            tail_id = skeleton.tail
         try:
             store.update(
                 table, (key, tail_id),
@@ -306,8 +389,10 @@ def release_lock(store: KVStore, table: str, key: Any,
             return True
         except ConditionFailed:
             row = read_row(store, table, key, tail_id)
-            if row is None:
-                continue
+            if row is None or "NextRow" in row:
+                if cache is not None:
+                    cache.forget(table, key)
+                continue  # stale tail (cached or raced); re-resolve
             owner = row.get("LockOwner")
             if not owner or owner.get("Id") != owner_id:
                 return False

@@ -27,13 +27,18 @@ class BeldiEnv:
 
     def __init__(self, store: KVStore, config: BeldiConfig, name: str,
                  tables: Iterable[str] = (),
-                 storage_mode: str = "daal") -> None:
+                 storage_mode: str = "daal",
+                 tail_cache=None) -> None:
         if storage_mode not in ("daal", "crosstable"):
             raise ValueError(f"unknown storage mode {storage_mode!r}")
         self.store = store
         self.config = config
         self.name = name
         self.storage_mode = storage_mode
+        #: The owning runtime's §4.4 tail cache (None = seed behavior).
+        #: Out-of-band accessors (peek) resolve tails through it too, so
+        #: tests observe the same fast path the SSFs use.
+        self.tail_cache = tail_cache
         self.intent_table = f"{name}.intent"
         self.read_log = f"{name}.readlog"
         self.invoke_log = f"{name}.invokelog"
@@ -103,7 +108,8 @@ class BeldiEnv:
             row = self.store.get(full, key)
             value = row.get("Value", daal.MISSING) if row else daal.MISSING
         else:
-            value = daal.tail_value(self.store, full, key)
+            value = daal.tail_value(self.store, full, key,
+                                    cache=self.tail_cache)
         return None if value == daal.MISSING else value
 
     # -- storage accounting --------------------------------------------------------

@@ -77,6 +77,30 @@ class _Liveness:
         self.live.add(instance_id)
         return True
 
+    def _unknown(self, instance_ids) -> list:
+        return sorted({
+            instance_id for instance_id in instance_ids
+            if instance_id and instance_id not in self.live
+            and instance_id not in self.recyclable
+            and instance_id not in self.known_gone})
+
+    def prefetch(self, instance_ids) -> None:
+        """Classify many unknown ids with one batched point-check.
+
+        Same liveness semantics as :meth:`is_live`, but the intent-table
+        reads for every id not settled by the scan coalesce into a single
+        ``batch_get`` round trip instead of one ``get`` each.
+        """
+        unknown = self._unknown(instance_ids)
+        if not unknown:
+            return
+        records = self.env.store.batch_get(self.env.intent_table, unknown)
+        for instance_id, record in zip(unknown, records):
+            if record is None:
+                self.known_gone.add(instance_id)
+            else:
+                self.live.add(instance_id)
+
 
 def make_garbage_collector(runtime, env: BeldiEnv):
     """Build the GC handler for one env; registered as a platform fn."""
@@ -86,6 +110,9 @@ def make_garbage_collector(runtime, env: BeldiEnv):
         now = runtime.kernel.now
         t_bound = runtime.config.gc_t
         store = env.store
+        cache = (runtime.tail_cache
+                 if runtime.config.tail_cache else None)
+        batch = runtime.config.batch_reads
         stats = {"stamped": 0, "recycled_intents": 0, "log_entries": 0,
                  "pruned_entries": 0, "disconnected": 0, "deleted_rows": 0,
                  "shadow_chains": 0, "locksets": 0}
@@ -135,10 +162,11 @@ def make_garbage_collector(runtime, env: BeldiEnv):
                 table = env.data_table(short)
                 for key in daal.all_keys(store, table):
                     _collect_chain(store, table, key, liveness, now,
-                                   t_bound, stats)
+                                   t_bound, stats, cache=cache,
+                                   batch=batch)
                 shadow = env.shadow_table(short)
                 _collect_shadows(store, shadow, liveness, now, t_bound,
-                                 stats)
+                                 stats, cache=cache, batch=batch)
 
         # Lock sets die with their owning instance.
         lockset_scan = store.scan(env.lockset_table)
@@ -163,7 +191,8 @@ def _entry_instances(row: dict) -> set:
 
 
 def _collect_chain(store, table: str, key: Any, liveness: _Liveness,
-                   now: float, t_bound: float, stats: dict) -> None:
+                   now: float, t_bound: float, stats: dict,
+                   cache=None, batch: bool = False) -> None:
     """Phases 4-5 for one item's chain."""
     result = store.query(table, key)
     rows = {row["RowId"]: row for row in result.items}
@@ -177,6 +206,15 @@ def _collect_chain(store, table: str, key: Any, liveness: _Liveness,
         seen.add(cursor)
         chain.append(rows[cursor])
         cursor = rows[cursor].get("NextRow")
+    if batch:
+        # Settle every unknown writer in one batched point-check before
+        # the per-entry pruning walk issues singleton gets. Only the
+        # reachable chain's entries are consulted below — orphan rows'
+        # writers would be wasted read units.
+        writers: set = set()
+        for row in chain:
+            writers |= _entry_instances(row)
+        liveness.prefetch(writers)
 
     # Prune dead log entries everywhere in the reachable chain. LogSize is
     # intentionally left as a high-water mark so "full" rows stay full.
@@ -217,6 +255,8 @@ def _collect_chain(store, table: str, key: Any, liveness: _Liveness,
             _stamp_dangle(store, table, key, row, now)
         elif now - row["DangleTime"] > t_bound:
             store.delete(table, (key, row_id))
+            if cache is not None:
+                cache.drop_row(table, key, row_id)
             stats["deleted_rows"] += 1
 
 
@@ -231,7 +271,8 @@ def _stamp_dangle(store, table: str, key: Any, row: dict,
 
 
 def _collect_shadows(store, shadow_table: str, liveness: _Liveness,
-                     now: float, t_bound: float, stats: dict) -> None:
+                     now: float, t_bound: float, stats: dict,
+                     cache=None, batch: bool = False) -> None:
     """Collect whole shadow chains once every writer (and the owning
     instance) is gone; head and tail are deleted too (§6.2)."""
     for key in daal.all_keys(store, shadow_table):
@@ -242,6 +283,8 @@ def _collect_shadows(store, shadow_table: str, liveness: _Liveness,
         for row in rows:
             writers |= _entry_instances(row)
             owner = row.get("OwnerInstance", owner)
+        if batch:
+            liveness.prefetch(writers | ({owner} if owner else set()))
         if owner is not None and liveness.is_live(owner):
             continue
         if any(liveness.is_live(instance_id) for instance_id in writers):
@@ -258,5 +301,7 @@ def _collect_shadows(store, shadow_table: str, liveness: _Liveness,
             continue
         for row in rows:
             store.delete(shadow_table, (key, row["RowId"]))
+            if cache is not None:
+                cache.drop_row(shadow_table, key, row["RowId"])
             stats["deleted_rows"] += 1
         stats["shadow_chains"] += 1

@@ -66,16 +66,27 @@ def read_op(ctx, table: str, key: Any, attribute: str = "Value") -> Any:
     exist. ``attribute`` is ``"Value"`` for data reads and ``"LockOwner"``
     for the wait-die owner probe (Fig. 11 reads the lock column through
     the same logged path).
+
+    Fast path (§4.4): with a tail cache the read goes straight to the
+    cached tail with one ``get`` — sound regardless of replays, because
+    a read's exactly-once outcome lives in the read log, not the chain,
+    and the tail row itself is always re-read fresh.
     """
     step = ctx.next_step()
     store = ctx.store
     ctx.crash_point(f"read:{step}:start")
-    skeleton = daal.load_skeleton(store, table, key)
-    if not skeleton.exists:
-        value = daal.MISSING
+    row = daal.fast_tail_row(store, table, key, ctx.tail_cache)
+    if row is not None:
+        value = row.get(attribute, daal.MISSING)
     else:
-        row = daal.read_row(store, table, key, skeleton.tail)
-        value = row.get(attribute, daal.MISSING) if row else daal.MISSING
+        skeleton = daal.load_skeleton(store, table, key,
+                                      cache=ctx.tail_cache)
+        if not skeleton.exists:
+            value = daal.MISSING
+        else:
+            row = daal.read_row(store, table, key, skeleton.tail)
+            value = (row.get(attribute, daal.MISSING) if row
+                     else daal.MISSING)
     ctx.crash_point(f"read:{step}:before-log")
     try:
         store.put(ctx.env.read_log,
@@ -117,8 +128,101 @@ def record_op(ctx, compute) -> Any:
 
 
 # ---------------------------------------------------------------------------
-# write (Fig. 6)
+# write (Fig. 6) — with the §4.4 fast path
 # ---------------------------------------------------------------------------
+#
+# The fast path skips the initial whole-chain replay probe and starts the
+# case loop straight at the cached tail. Soundness rests on the position
+# cache: every logged outcome (case B landing or case A discovery) pins
+# its row in the same scheduling step as the store mutation, so
+#
+#  - a position hit resolves a replay with one ``get`` (case A), and
+#  - a *trusted* position miss means the operation was never logged
+#    through this runtime — and since every operation against the store
+#    flows through this runtime (single-account simulation; see
+#    tailcache.py), never logged at all. Starting at the tail then risks
+#    nothing: the entry the loop must not double-write does not exist.
+#    Misses stop being trusted for an instance once the bounded cache
+#    evicts any of its positions (taint) — those ops take the full probe.
+#
+# A stale cached tail fails safely: the case-B condition requires the
+# target row to exist (``SizeLt(RecentWrites)``) and be chainless, so a
+# deleted or chained row raises ConditionFailed, and the loop repairs the
+# cache via one full probe before continuing.
+
+
+def _position_replay(store, table: str, key: Any, log_key: str,
+                     cache) -> tuple[bool, Any]:
+    """Resolve a replayed op through the position cache: one ``get``."""
+    if cache is None:
+        return False, None
+    row_id = cache.position_of(table, key, log_key)
+    if row_id is None:
+        return False, None
+    row = daal.read_row(store, table, key, row_id)
+    writes = (row.get("RecentWrites") or {}) if row else {}
+    if log_key in writes:
+        cache.stats.position_hits += 1
+        return True, writes[log_key]
+    # The row (or the entry) is gone — GC pruned a long-dead instance's
+    # log. Evict and fall back to the sound full probe.
+    cache.forget_position(table, key, log_key)
+    return False, None
+
+
+def _fast_start(ctx, table: str, key: Any, log_key: str,
+                head_extra: Optional[dict]) -> tuple[str, Any, bool]:
+    """Shared write/condWrite preamble: where does the case loop start?
+
+    Returns ``("done", outcome, False)`` when the op already executed
+    (position-cache hit, or case-A found by the full probe); otherwise
+    ``("row", row_id, from_cache)`` naming the first row to try. The
+    cached-tail start is taken only when a position miss is trustworthy
+    (:meth:`TailCache.trusts_miss` — eviction taints instances).
+    """
+    cache = ctx.tail_cache
+    if cache is not None:
+        hit, outcome = _position_replay(ctx.store, table, key, log_key,
+                                        cache)
+        if hit:
+            return "done", outcome, False
+        if cache.trusts_miss(log_key):
+            entry = cache.tail_of(table, key)
+            if entry is not None:
+                return "row", entry.row_id, True
+    status, payload = _probe_chain(ctx, table, key, log_key, head_extra)
+    return status, payload, False
+
+
+def _reprobe_after_vanish(ctx, table: str, key: Any, log_key: str,
+                          head_extra: Optional[dict]) -> tuple[str, Any]:
+    """A cache-supplied start row vanished (GC reclaimed it): evict the
+    stale tail and restart from the full probe — the sound slow path.
+    Same ``("done", outcome) | ("row", row_id)`` contract as
+    :func:`_probe_chain`."""
+    ctx.tail_cache.forget(table, key)
+    return _probe_chain(ctx, table, key, log_key, head_extra)
+
+
+def _probe_chain(ctx, table: str, key: Any, log_key: str,
+                 head_extra: Optional[dict]) -> tuple[str, Any]:
+    """Seed path: full-skeleton probe. ``('done', outcome)`` on a case-A
+    hit anywhere in the chain, else ``('row', tail row id)``."""
+    store = ctx.store
+    cache = ctx.tail_cache
+    skeleton = daal.load_skeleton(store, table, key, probe_log_key=log_key,
+                                  cache=cache)
+    if not skeleton.log_hits and not skeleton.exists:
+        daal.ensure_head(store, table, key, extra_attrs=head_extra)
+        skeleton = daal.load_skeleton(store, table, key,
+                                      probe_log_key=log_key, cache=cache)
+    if skeleton.log_hits:
+        if cache is not None:
+            hit_row = next(iter(skeleton.log_hits))
+            cache.remember_position(table, key, log_key, hit_row)
+        return "done", _only_hit(skeleton)
+    return "row", skeleton.tail
+
 
 def write_op(ctx, table: str, key: Any, value: Any,
              head_extra: Optional[dict] = None) -> None:
@@ -126,37 +230,48 @@ def write_op(ctx, table: str, key: Any, value: Any,
     step = ctx.next_step()
     log_key = encode(ctx.instance_id, step)
     store = ctx.store
+    cache = ctx.tail_cache
     ctx.crash_point(f"write:{step}:start")
-    skeleton = daal.load_skeleton(store, table, key, probe_log_key=log_key)
-    if skeleton.log_hits:
-        return  # case A found during the initial scan: already executed
-    if not skeleton.exists:
-        daal.ensure_head(store, table, key, extra_attrs=head_extra)
-        skeleton = daal.load_skeleton(store, table, key,
-                                      probe_log_key=log_key)
-        if skeleton.log_hits:
-            return
-    row_id = skeleton.tail
+    status, payload, from_cache = _fast_start(ctx, table, key, log_key,
+                                              head_extra)
+    if status == "done":
+        return  # case A
+    row_id = payload
     capacity = ctx.config.row_log_capacity
     for _ in range(_MAX_CHAIN_STEPS):
         ctx.crash_point(f"write:{step}:try:{row_id}")
         try:
             store.update(
                 table, (key, row_id),
-                [Set("Value", value), *_log_write_updates(log_key, True)],
+                [Set("Value", value),
+                 *_log_write_updates(log_key, True)],
                 condition=daal.case_b_condition(log_key, capacity))
+            if cache is not None:
+                cache.note_logged_write(table, key, row_id, log_key)
             ctx.crash_point(f"write:{step}:done")
             return  # case B
         except ConditionFailed:
             pass
         row = daal.read_row(store, table, key, row_id)
         if row is None:
-            raise BeldiError(f"row {row_id} vanished during write")
+            if not from_cache:
+                raise BeldiError(f"row {row_id} vanished during write")
+            from_cache = False
+            status, payload = _reprobe_after_vanish(ctx, table, key,
+                                                    log_key, head_extra)
+            if status == "done":
+                return
+            row_id = payload
+            continue
+        from_cache = False
         if log_key in (row.get("RecentWrites") or {}):
+            if cache is not None:
+                cache.remember_position(table, key, log_key, row_id)
             return  # case A
         if "NextRow" not in row:
             row_id = daal.append_row(store, table, key, row,
-                                     ctx.fresh_row_id())  # case D
+                                     ctx.fresh_row_id(),
+                                     cache=cache)  # case D
         else:
             row_id = row["NextRow"]  # case C
     raise BeldiError("write did not terminate; chain unreasonably long")
@@ -183,17 +298,13 @@ def cond_write_op(ctx, table: str, key: Any,
     step = ctx.next_step()
     log_key = encode(ctx.instance_id, step)
     store = ctx.store
+    cache = ctx.tail_cache
     ctx.crash_point(f"condwrite:{step}:start")
-    skeleton = daal.load_skeleton(store, table, key, probe_log_key=log_key)
-    if skeleton.log_hits:
-        return _only_hit(skeleton)  # case A via the initial scan
-    if not skeleton.exists:
-        daal.ensure_head(store, table, key, extra_attrs=head_extra)
-        skeleton = daal.load_skeleton(store, table, key,
-                                      probe_log_key=log_key)
-        if skeleton.log_hits:
-            return _only_hit(skeleton)
-    row_id = skeleton.tail
+    status, payload, from_cache = _fast_start(ctx, table, key, log_key,
+                                              head_extra)
+    if status == "done":
+        return bool(payload)  # case A
+    row_id = payload
     capacity = ctx.config.row_log_capacity
     success_updates: list[UpdateAction] = []
     if set_value:
@@ -207,6 +318,8 @@ def cond_write_op(ctx, table: str, key: Any,
                 table, (key, row_id),
                 [*success_updates, *_log_write_updates(log_key, True)],
                 condition=And(condition, case_b))
+            if cache is not None:
+                cache.note_logged_write(table, key, row_id, log_key)
             ctx.crash_point(f"condwrite:{step}:done")
             return True  # case B1
         except ConditionFailed:
@@ -219,19 +332,33 @@ def cond_write_op(ctx, table: str, key: Any,
                 table, (key, row_id),
                 _log_write_updates(log_key, False),
                 condition=case_b)
+            if cache is not None:
+                cache.note_logged_write(table, key, row_id, log_key)
             ctx.crash_point(f"condwrite:{step}:done")
             return False  # case B2
         except ConditionFailed:
             pass
         row = daal.read_row(store, table, key, row_id)
         if row is None:
-            raise BeldiError(f"row {row_id} vanished during condWrite")
+            if not from_cache:
+                raise BeldiError(f"row {row_id} vanished during condWrite")
+            from_cache = False
+            status, payload = _reprobe_after_vanish(ctx, table, key,
+                                                    log_key, head_extra)
+            if status == "done":
+                return bool(payload)
+            row_id = payload
+            continue
+        from_cache = False
         writes = row.get("RecentWrites") or {}
         if log_key in writes:
+            if cache is not None:
+                cache.remember_position(table, key, log_key, row_id)
             return bool(writes[log_key])  # case A
         if "NextRow" not in row:
             row_id = daal.append_row(store, table, key, row,
-                                     ctx.fresh_row_id())  # case D
+                                     ctx.fresh_row_id(),
+                                     cache=cache)  # case D
         else:
             row_id = row["NextRow"]  # case C
     raise BeldiError("condWrite did not terminate; chain unreasonably long")

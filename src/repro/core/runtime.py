@@ -26,6 +26,7 @@ from repro.core.config import BeldiConfig
 from repro.core.context import BeldiContext
 from repro.core.env import BeldiEnv
 from repro.core.errors import TxnAborted
+from repro.core.tailcache import TailCache
 from repro.core.txn import (
     ABORT,
     COMMIT,
@@ -80,6 +81,16 @@ class BeldiRuntime:
         self.envs: dict[str, BeldiEnv] = {}
         self.ssfs: dict[str, SSFDefinition] = {}
         self.collector_handles: list[dict] = []
+        #: §4.4 fast path: chain-position memory shared by every SSF this
+        #: runtime hosts. Always constructed; the ``tail_cache`` config
+        #: flag decides whether any layer consults it.
+        self.tail_cache = TailCache()
+        #: Locally resolved intents: instance id -> {"ret", "caller"}.
+        #: Lets re-delivered/duplicate invocations skip the intent-table
+        #: read entirely. Only ever populated *after* mark_done succeeds,
+        #: so a cache hit implies the store agrees the work is complete.
+        self._intent_cache: dict[str, dict] = {}
+        self._intent_cache_limit = 4096
 
     # -- identities ----------------------------------------------------------
     def fresh_uuid(self) -> str:
@@ -92,7 +103,9 @@ class BeldiRuntime:
         if name in self.envs:
             raise ValueError(f"env {name!r} already exists")
         env = BeldiEnv(self.store, self.config, name, tables,
-                       storage_mode=storage_mode)
+                       storage_mode=storage_mode,
+                       tail_cache=(self.tail_cache
+                                   if self.config.tail_cache else None))
         self.envs[name] = env
         return env
 
@@ -173,6 +186,17 @@ class BeldiRuntime:
 
         return handler
 
+    def _remember_done(self, instance_id: str, ret: Any,
+                       caller: Optional[dict]) -> None:
+        """Record a locally resolved intent (bounded FIFO eviction)."""
+        if not self.config.tail_cache:
+            return
+        if len(self._intent_cache) >= self._intent_cache_limit:
+            for stale in list(self._intent_cache)[
+                    :self._intent_cache_limit // 2]:
+                del self._intent_cache[stale]
+        self._intent_cache[instance_id] = {"ret": ret, "caller": caller}
+
     def _handle_call(self, ssf: SSFDefinition,
                      platform_ctx: InvocationContext, payload: dict) -> Any:
         env = ssf.env
@@ -180,6 +204,19 @@ class BeldiRuntime:
         is_async = bool(payload.get("async"))
         caller = payload.get("caller")
         txn_payload = payload.get("txn")
+        if self.config.tail_cache:
+            # Intent-status fast path: this runtime already saw the
+            # instance complete, so the duplicate delivery can be answered
+            # (and the caller re-notified) without touching the store.
+            cached = self._intent_cache.get(instance_id)
+            if cached is not None:
+                self.tail_cache.stats.intent_hits += 1
+                if is_async:
+                    return None
+                if cached.get("caller"):
+                    self._issue_callback(platform_ctx, cached["caller"],
+                                         instance_id, cached["ret"])
+                return cached["ret"]
         if is_async:
             # Fig. 20 stub: run only if registered and unfinished.
             intent = intents.get_intent(env, instance_id)
@@ -193,6 +230,7 @@ class BeldiRuntime:
                 # Late duplicate: the work is complete; make sure the
                 # caller has the result, then return it.
                 ret = intent.get("Ret")
+                self._remember_done(instance_id, ret, intent.get("Caller"))
                 if intent.get("Caller"):
                     self._issue_callback(platform_ctx, intent["Caller"],
                                          instance_id, ret)
@@ -219,6 +257,7 @@ class BeldiRuntime:
                                  instance_id, result)
             platform_ctx.crash_point("callback:done")
         intents.mark_done(env, instance_id, result)
+        self._remember_done(instance_id, result, effective_caller)
         platform_ctx.crash_point("done:marked")
         return result
 
@@ -289,7 +328,10 @@ class BeldiRuntime:
         mode = txn_payload.get("mode")
         if mode not in (COMMIT, ABORT):
             raise ValueError(f"bad txn_signal mode {mode!r}")
-        resolve_local(env, txn_payload["id"], mode)
+        resolve_local(env, txn_payload["id"], mode,
+                      cache=(self.tail_cache
+                             if self.config.tail_cache else None),
+                      batch=self.config.batch_reads)
         # Recurse using a minimal context (no intent bookkeeping needed:
         # signals are at-least-once and idempotent).
         intent = intents.get_intent(env, instance_id) or {

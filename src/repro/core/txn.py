@@ -174,12 +174,19 @@ def tx_cond_write(ctx, short: str, key: Any, value: Any,
 # Commit / abort protocol
 # ---------------------------------------------------------------------------
 
-def resolve_local(env: BeldiEnv, txn_id: str, mode: str) -> dict:
+def resolve_local(env: BeldiEnv, txn_id: str, mode: str,
+                  cache=None, batch: bool = False) -> dict:
     """Phase 2, local part: flush shadows (commit) and release locks.
 
     Idempotent and at-least-once: every step is conditioned on
     ``LockOwner.Id == txn_id``, which the first successful flush/release
     clears. A crashed resolver simply re-runs and skips finished keys.
+
+    Fast paths: with ``cache`` the tail lookups (shadow reads, flushes,
+    releases) go through the §4.4 position memory; with ``batch`` the
+    N shadow-tail fetches coalesce into one ``batch_get`` round trip —
+    single-row shadow chains (the common case) need no extra read at
+    all, their head row from the index query already carries the value.
     """
     store = env.store
     stats = {"flushed": 0, "released": 0}
@@ -188,23 +195,76 @@ def resolve_local(env: BeldiEnv, txn_id: str, mode: str) -> dict:
             shadow = env.shadow_table(short)
             heads = store.query_index(shadow, SHADOW_TXN_INDEX, txn_id)
             chains = {}
+            head_rows = {}
             for row in heads:
                 if row.get("RowId") == daal.HEAD_ROW_ID:
                     chains[row["Key"]] = row.get("OrigKey")
+                    head_rows[row["Key"]] = row
+            finals = _shadow_finals(store, shadow, sorted(chains),
+                                    head_rows, cache, batch)
             for skey, orig_key in sorted(chains.items()):
-                final = daal.tail_value(store, shadow, skey)
+                final = finals[skey]
                 if final == daal.MISSING:
                     continue
                 if daal.flush_value(store, env.data_table(short), orig_key,
-                                    final, txn_id):
+                                    final, txn_id, cache=cache):
                     stats["flushed"] += 1
     refs = store.query(env.lockset_table, txn_id)
     for ref in refs.items:
         released = daal.release_lock(
-            store, env.data_table(ref["Table"]), ref["ItemKey"], txn_id)
+            store, env.data_table(ref["Table"]), ref["ItemKey"], txn_id,
+            cache=cache)
         if released:
             stats["released"] += 1
     return stats
+
+
+def _shadow_finals(store, shadow: str, skeys, head_rows: dict,
+                   cache, batch: bool) -> dict:
+    """Resolve every shadow chain's tail value; one batched round trip
+    for the multi-row chains when ``batch`` is on."""
+    finals: dict = {}
+    if not batch:
+        for skey in skeys:
+            finals[skey] = daal.tail_value(store, shadow, skey,
+                                           cache=cache)
+        return finals
+    pending: list = []
+    for skey in skeys:
+        head = head_rows[skey]
+        if "NextRow" not in head:
+            # Single-row chain: the head *is* the tail, and the index
+            # query already returned it whole.
+            finals[skey] = head.get("Value", daal.MISSING)
+        else:
+            pending.append(skey)
+    if not pending:
+        return finals
+    tail_ids: dict = {}
+    for skey in pending:
+        entry = cache.tail_of(shadow, skey) if cache is not None else None
+        if entry is not None:
+            tail_ids[skey] = entry.row_id
+        else:
+            skeleton = daal.load_skeleton(store, shadow, skey, cache=cache)
+            tail_ids[skey] = skeleton.tail  # None when chain vanished
+    lookups = [skey for skey in pending if tail_ids[skey] is not None]
+    rows = store.batch_get(shadow,
+                           [(skey, tail_ids[skey]) for skey in lookups])
+    for skey, row in zip(lookups, rows):
+        if row is None or "NextRow" in row:
+            # Cached tail went stale between resolution and fetch; evict
+            # and fall back to the sound traversal for this key.
+            if cache is not None:
+                cache.forget(shadow, skey)
+            finals[skey] = daal.tail_value(store, shadow, skey,
+                                           cache=cache)
+        else:
+            finals[skey] = row.get("Value", daal.MISSING)
+    for skey in pending:
+        if skey not in finals:
+            finals[skey] = daal.MISSING
+    return finals
 
 
 def propagate_signal(ctx, instance_id: str, txn_payload: dict) -> int:
@@ -253,7 +313,8 @@ def finish_transaction(ctx, commit: bool) -> str:
         return "inherited"
     mode = COMMIT if commit and not txn.aborted else ABORT
     ctx.crash_point(f"txn:{txn.txn_id}:resolving:{mode}")
-    resolve_local(ctx.env, txn.txn_id, mode)
+    resolve_local(ctx.env, txn.txn_id, mode, cache=ctx.tail_cache,
+                  batch=getattr(ctx.config, "batch_reads", False))
     ctx.crash_point(f"txn:{txn.txn_id}:resolved-local")
     propagate_signal(ctx, ctx.instance_id, txn.payload(mode))
     ctx.crash_point(f"txn:{txn.txn_id}:propagated")

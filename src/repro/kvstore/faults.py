@@ -9,7 +9,7 @@ consistent — exactly the paper's assumption (§2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.sim.randsrc import RandomSource
 
@@ -22,17 +22,41 @@ class FaultPolicy:
         Chance an operation raises :class:`ThrottledError` before running.
     spike_probability / spike_multiplier:
         Chance an operation's latency is multiplied (tail injection).
+    only_ops:
+        When set, the policy only applies to these facade operation names
+        (``"db.read"``, ``"db.batch_read"``, ``"db.query"``, ...). Lets
+        tests target one operation kind — e.g. throttle batched reads as
+        whole batches while leaving point reads untouched. ``None``
+        applies to everything.
+
+    A batched operation (``batch_get``) consults the policy **once per
+    batch**, not once per row: one draw throttles or spikes the whole
+    round trip, which is exactly how a provider-side throttle behaves.
     """
 
     throttle_probability: float = 0.0
     spike_probability: float = 0.0
     spike_multiplier: float = 10.0
+    only_ops: Optional[frozenset] = None
 
-    def should_throttle(self, rand: RandomSource) -> bool:
+    @classmethod
+    def for_ops(cls, ops: Iterable[str], **kwargs) -> "FaultPolicy":
+        return cls(only_ops=frozenset(ops), **kwargs)
+
+    def applies_to(self, op: str) -> bool:
+        return self.only_ops is None or op in self.only_ops
+
+    def should_throttle(self, rand: RandomSource,
+                        op: str = "") -> bool:
+        if not self.applies_to(op):
+            return False
         return (self.throttle_probability > 0
                 and rand.random() < self.throttle_probability)
 
-    def latency_multiplier(self, rand: RandomSource) -> float:
+    def latency_multiplier(self, rand: RandomSource,
+                           op: str = "") -> float:
+        if not self.applies_to(op):
+            return 1.0
         if self.spike_probability > 0 and rand.random() < (
                 self.spike_probability):
             return self.spike_multiplier

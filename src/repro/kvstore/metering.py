@@ -20,9 +20,17 @@ DOLLARS_PER_WRITE_UNIT = 1.25e-6
 
 @dataclass
 class OpRecord:
-    """Counters for one operation kind."""
+    """Counters for one operation kind.
+
+    ``count`` is the number of *round trips* (requests billed against the
+    provider's request-rate limits); ``items`` is the number of rows those
+    requests touched. For point operations the two match; for batched and
+    ranged operations (``batch_get``, ``query``, ``scan``) ``items`` grows
+    while ``count`` does not — which is precisely the fast path's win.
+    """
 
     count: int = 0
+    items: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     read_units: float = 0.0
@@ -43,6 +51,7 @@ class Metering:
             return
         rec = self.ops.setdefault(op, OpRecord())
         rec.count += 1
+        rec.items += max(items, 1)
         rec.bytes_read += nbytes
         units = max(items, 1) * max(1.0, nbytes / READ_UNIT_BYTES / max(
             items, 1))
@@ -54,6 +63,7 @@ class Metering:
             return
         rec = self.ops.setdefault(op, OpRecord())
         rec.count += 1
+        rec.items += 1
         rec.bytes_written += nbytes
         rec.write_units += max(1.0, nbytes / WRITE_UNIT_BYTES)
         self.per_table[table] += 1
@@ -84,6 +94,7 @@ class Metering:
         return {
             op: {
                 "count": rec.count,
+                "items": rec.items,
                 "bytes_read": rec.bytes_read,
                 "bytes_written": rec.bytes_written,
                 "read_units": round(rec.read_units, 3),
@@ -99,6 +110,7 @@ class Metering:
             base = baseline.ops.get(op, OpRecord())
             delta = OpRecord(
                 count=rec.count - base.count,
+                items=rec.items - base.items,
                 bytes_read=rec.bytes_read - base.bytes_read,
                 bytes_written=rec.bytes_written - base.bytes_written,
                 read_units=rec.read_units - base.read_units,
@@ -110,9 +122,9 @@ class Metering:
     def copy(self) -> "Metering":
         clone = Metering(enabled=self.enabled)
         for op, rec in self.ops.items():
-            clone.ops[op] = OpRecord(rec.count, rec.bytes_read,
-                                     rec.bytes_written, rec.read_units,
-                                     rec.write_units)
+            clone.ops[op] = OpRecord(rec.count, rec.items,
+                                     rec.bytes_read, rec.bytes_written,
+                                     rec.read_units, rec.write_units)
         clone.per_table = Counter(self.per_table)
         return clone
 

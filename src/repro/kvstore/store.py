@@ -145,9 +145,9 @@ class KVStore:
     def _pay(self, op: str, units: float = 0.0) -> None:
         multiplier = 1.0
         if self.faults is not None:
-            if self.faults.should_throttle(self.rand):
+            if self.faults.should_throttle(self.rand, op):
                 raise ThrottledError(f"{op} throttled")
-            multiplier = self.faults.latency_multiplier(self.rand)
+            multiplier = self.faults.latency_multiplier(self.rand, op)
         self.time.sleep(self.latency.sample(op, units=units) * multiplier)
 
     # -- point ops ---------------------------------------------------------------
@@ -159,6 +159,31 @@ class KVStore:
         nbytes = item_size(item) if item else 0
         self.metering.record_read("read", table, nbytes)
         return item
+
+    def batch_get(self, table: str, keys: Sequence[Any],
+                  projection: Optional[Projection] = None
+                  ) -> list[Optional[dict]]:
+        """Read many rows of one table in a single round trip.
+
+        Models DynamoDB ``BatchGetItem`` restricted to one table: the
+        whole batch pays one latency/fault draw (a throttle rejects the
+        entire batch) and meters as a single request whose read units
+        cover every row. Results align with ``keys``; missing rows come
+        back as ``None``. An empty batch is free.
+        """
+        if not keys:
+            return []
+        tbl = self.table(table)
+        self._pay("db.batch_read", units=len(keys))
+        items: list[Optional[dict]] = []
+        total_bytes = 0
+        for key in keys:
+            item = tbl.get(key, projection=projection)
+            items.append(item)
+            total_bytes += item_size(item) if item else 0
+        self.metering.record_read("batch_get", table, total_bytes,
+                                  items=len(keys))
+        return items
 
     def put(self, table: str, item: dict,
             condition: Optional[Condition] = None) -> None:

@@ -25,6 +25,7 @@ from repro.platform.crashes import (
     CrashPolicy,
     CrashScript,
     NeverCrash,
+    RecordingPolicy,
     ProbabilisticCrash,
 )
 from repro.platform.errors import (
@@ -46,6 +47,7 @@ __all__ = [
     "FunctionTimeout",
     "InvocationContext",
     "NeverCrash",
+    "RecordingPolicy",
     "PlatformConfig",
     "PlatformError",
     "PlatformStats",

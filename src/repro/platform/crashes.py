@@ -34,6 +34,36 @@ class NeverCrash(CrashPolicy):
 
 
 @dataclass
+class RecordingPolicy(CrashPolicy):
+    """Never crashes; records every crash point reached, in order.
+
+    One recording run enumerates a workflow's full crash space — each
+    ``(function, invocation ordinal, tag)`` triple is a spot where an
+    instance could die. Sweep harnesses replay the workflow once per
+    recorded point with :class:`CrashOnce` to prove exactly-once
+    semantics hold at *every* reachable crash site, not just a sampled
+    few.
+    """
+
+    points: list = field(default_factory=list)
+
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        self.points.append((function, invocation_index, tag))
+        return False
+
+    def unique_points(self) -> list:
+        """The recorded crash sites, deduplicated, original order."""
+        seen = set()
+        out = []
+        for point in self.points:
+            if point not in seen:
+                seen.add(point)
+                out.append(point)
+        return out
+
+
+@dataclass
 class CrashOnce(CrashPolicy):
     """Crash one specific (function, invocation ordinal, tag) and no more.
 

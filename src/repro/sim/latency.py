@@ -61,6 +61,9 @@ DEFAULT_SPECS: Dict[str, LatencySpec] = {
     "db.delete": LatencySpec(median=5.0, p99=16.0),
     "db.scan": LatencySpec(median=4.5, p99=14.0, per_unit=0.08),
     "db.query": LatencySpec(median=4.2, p99=13.0, per_unit=0.08),
+    # BatchGetItem: one round trip amortized over many rows — the base
+    # cost of a read plus a small per-row marginal (server-side fan-out).
+    "db.batch_read": LatencySpec(median=4.5, p99=14.0, per_unit=0.05),
     # TransactWriteItems: two-phase accept/commit under the hood — roughly
     # the cost of two sequential conditional writes per item plus
     # coordination (observed well above 2x a plain write in practice).

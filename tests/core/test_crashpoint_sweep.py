@@ -1,0 +1,260 @@
+"""Exhaustive crash-point sweep (the paper's core claim, mechanized).
+
+A recording run enumerates every crash point a workflow passes through
+(``RecordingPolicy`` sees each ``ctx.crash_point(tag)``). The sweep then
+re-runs the workflow once per recorded point, killing the instance at
+exactly that point with ``CrashOnce``, letting the intent collector
+recover, and asserting:
+
+1. **exactly-once effects** — the workflow's externally visible writes
+   happened exactly once (or, when the crash precedes the root intent,
+   exactly zero times with the client told so);
+2. **atomicity** — the travel reservation's hotel/flight decrements and
+   booking record move together, never partially;
+3. **a clean final store** — after the GC horizon passes, every log,
+   intent, lock-set record, shadow chain, lock, and write-log entry is
+   gone: crashes leave no permanent residue.
+
+Swept over the travel-booking transaction and the movie-review workflow,
+with the §4.4 fast-path flags both on and off — the cache layer must not
+change crash semantics anywhere in the crash space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.movie import MovieReviewApp
+from repro.apps.travel import TravelReservationApp
+from repro.core import BeldiConfig, BeldiRuntime
+from repro.core import daal, intents
+from repro.core.gc import make_garbage_collector
+from repro.platform import CrashOnce, RecordingPolicy
+from repro.platform.errors import FunctionCrashed, TooManyRequests
+
+SEED = 5
+GC_T = 400.0
+RECOVERY_SLICE = 500.0
+RECOVERY_HORIZON = 40_000.0
+
+FLAG_SETTINGS = {
+    "fastpath-on": dict(tail_cache=True, batch_reads=True),
+    "fastpath-off": dict(tail_cache=False, batch_reads=False),
+}
+
+
+def _config(flags: dict) -> BeldiConfig:
+    return BeldiConfig(ic_restart_delay=200.0, gc_t=GC_T,
+                       lock_retry_backoff=5.0, lock_retry_limit=500,
+                       **flags)
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+class TravelReserveScenario:
+    """One cross-SSF reservation transaction (hotel + flight + booking)."""
+
+    entry = "frontend"
+    payload = {"action": "reserve", "user": "user-0000",
+               "hotel": "hotel-0000", "flight": "flight-0000"}
+
+    def build(self, flags: dict):
+        runtime = BeldiRuntime(seed=SEED, config=_config(flags))
+        app = TravelReservationApp(seed=SEED, n_hotels=2, n_flights=2,
+                                   rooms_per_hotel=2, seats_per_flight=2,
+                                   n_users=1)
+        app.register(runtime)
+        app.seed_data(runtime)
+        return runtime, app
+
+    def check_effects(self, runtime, app, client_ok: bool) -> None:
+        rooms, seats = app.capacity_remaining()
+        rooms_used = 2 * 2 - rooms
+        seats_used = 2 * 2 - seats
+        env = app.envs["reserve"]
+        bookings = len(daal.all_keys(env.store,
+                                     env.data_table("bookings")))
+        # Atomicity: the three effects move together...
+        assert rooms_used == seats_used == bookings, (
+            f"partial reservation: rooms={rooms_used} "
+            f"seats={seats_used} bookings={bookings}")
+        # ...exactly once or not at all; and a success reply to the
+        # client implies the effects landed.
+        assert bookings in (0, 1)
+        if client_ok:
+            assert bookings == 1
+
+
+class MovieComposeScenario:
+    """The compose-review workflow: store + two index appends."""
+
+    entry = "frontend"
+    payload = {"action": "compose", "username": "user-0000",
+               "title": "Title 0", "text": "great movie  indeed",
+               "rating": 8}
+
+    def build(self, flags: dict):
+        runtime = BeldiRuntime(seed=SEED, config=_config(flags))
+        app = MovieReviewApp(seed=SEED, n_movies=2, n_users=1)
+        app.register(runtime)
+        app.seed_data(runtime)
+        return runtime, app
+
+    def check_effects(self, runtime, app, client_ok: bool) -> None:
+        storage_env = app.envs["review_storage"]
+        review_ids = daal.all_keys(storage_env.store,
+                                   storage_env.data_table("reviews"))
+        by_user = app.envs["user_review"].peek("by_user",
+                                               "uid-0000") or []
+        by_movie = app.envs["movie_review"].peek("by_movie",
+                                                 "movie-0000") or []
+        assert len(review_ids) in (0, 1)
+        # Exactly-once indexing: no duplicate appends ever.
+        assert len(by_user) == len(set(by_user)) == len(review_ids)
+        assert len(by_movie) == len(set(by_movie)) == len(review_ids)
+        if review_ids:
+            assert by_user == review_ids and by_movie == review_ids
+        if client_ok:
+            assert len(review_ids) == 1
+
+
+SCENARIOS = {
+    "travel-reserve": TravelReserveScenario(),
+    "movie-compose": MovieComposeScenario(),
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+def record_crash_space(scenario, flags: dict):
+    """Crash-free run under a recording policy -> the full crash space."""
+    runtime, app = scenario.build(flags)
+    recording = RecordingPolicy()
+    runtime.platform.crash_policy = recording
+    result = runtime.run_workflow(scenario.entry, dict(scenario.payload))
+    runtime.kernel.shutdown()
+    points = recording.unique_points()
+    assert len(points) > 40, "suspiciously small crash space"
+    return points, result
+
+
+def run_until_recovered(runtime, scenario) -> bool:
+    """Issue the client request; drive until the client finished and no
+    intent is pending. Returns whether the client saw a success."""
+    box = {}
+
+    def client():
+        try:
+            box["result"] = runtime.client_call(scenario.entry,
+                                                dict(scenario.payload))
+        except (FunctionCrashed, TooManyRequests):
+            box["result"] = "crashed"
+
+    runtime.start_collectors(ic_period=100.0, gc_period=1e12)
+    runtime.kernel.spawn(client)
+    deadline = RECOVERY_HORIZON
+    elapsed = 0.0
+    while elapsed < deadline:
+        elapsed += RECOVERY_SLICE
+        runtime.kernel.run(until=elapsed)
+        if "result" not in box:
+            continue
+        if all(not intents.pending_intents(env)
+               for env in runtime.envs.values()):
+            break
+    runtime.stop_collectors()
+    runtime.kernel.run(until=elapsed + RECOVERY_SLICE)
+    assert "result" in box, "client never completed"
+    assert all(not intents.pending_intents(env)
+               for env in runtime.envs.values()), (
+        "unfinished intents survived recovery")
+    return isinstance(box["result"], dict) and bool(
+        box["result"].get("ok"))
+
+
+def run_gc_passes(runtime, passes: int = 3) -> None:
+    """Advance past the GC horizon and collect everything, repeatedly
+    (stamp -> recycle/disconnect -> delete needs T between passes)."""
+    handlers = [make_garbage_collector(runtime, env)
+                for env in runtime.envs.values()]
+
+    class _Ctx:
+        request_id = "sweep-gc"
+        invocation_index = 0
+
+        def crash_point(self, tag):
+            pass
+
+    for _ in range(passes):
+        runtime.kernel.spawn(
+            lambda: runtime.kernel.sleep(GC_T + 50.0))
+        runtime.kernel.run()
+
+        def one_round():
+            for handler in handlers:
+                handler(_Ctx(), {})
+
+        runtime.kernel.spawn(one_round)
+        runtime.kernel.run()
+
+
+def assert_store_clean(runtime) -> None:
+    """No residue: logs, intents, locksets, shadows, locks, entries."""
+    store = runtime.store
+    for env in runtime.envs.values():
+        assert store.item_count(env.intent_table) == 0, env.name
+        assert store.item_count(env.read_log) == 0, env.name
+        assert store.item_count(env.invoke_log) == 0, env.name
+        assert store.item_count(env.lockset_table) == 0, env.name
+        for short in env.table_names():
+            table = env.data_table(short)
+            assert store.item_count(env.shadow_table(short)) == 0, (
+                f"{table} shadow not collected")
+            for key in daal.all_keys(store, table):
+                for row in store.query(table, key).items:
+                    assert "LockOwner" not in row, (
+                        f"leaked lock on {table}:{key}")
+                    assert not row.get("RecentWrites"), (
+                        f"leaked log entries on {table}:{key}")
+
+
+def sweep(scenario_name: str, flags_name: str) -> None:
+    scenario = SCENARIOS[scenario_name]
+    flags = FLAG_SETTINGS[flags_name]
+    points, baseline_result = record_crash_space(scenario, flags)
+    assert baseline_result.get("ok"), "crash-free run must succeed"
+    failures = []
+    for function, index, tag in points:
+        runtime, app = scenario.build(flags)
+        runtime.platform.crash_policy = CrashOnce(
+            function, tag, invocation_index=index)
+        try:
+            client_ok = run_until_recovered(runtime, scenario)
+            scenario.check_effects(runtime, app, client_ok)
+            assert runtime.platform.stats.injected_crashes == 1, (
+                "crash point was not reached on the re-run")
+            run_gc_passes(runtime)
+            assert_store_clean(runtime)
+        except AssertionError as exc:  # collect, report all at once
+            failures.append((function, index, tag, str(exc)))
+        finally:
+            runtime.kernel.shutdown()
+    assert not failures, (
+        f"{len(failures)}/{len(points)} crash points violated "
+        f"exactly-once/cleanliness:\n" + "\n".join(
+            f"  {f}#{i} @ {t}: {msg.splitlines()[0]}"
+            for f, i, t, msg in failures[:10]))
+
+
+@pytest.mark.parametrize("flags_name", sorted(FLAG_SETTINGS))
+def test_travel_reserve_crash_sweep(flags_name):
+    sweep("travel-reserve", flags_name)
+
+
+@pytest.mark.parametrize("flags_name", sorted(FLAG_SETTINGS))
+def test_movie_compose_crash_sweep(flags_name):
+    sweep("movie-compose", flags_name)

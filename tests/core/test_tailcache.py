@@ -1,0 +1,318 @@
+"""TailCache staleness: every way a cached tail can rot, and the
+fallback that must repair it without ever surfacing a stale value.
+
+Three rot modes from the issue:
+
+1. the cached row was *disconnected* by the GC (interior row whose log
+   emptied — it keeps its ``NextRow``, so chasing re-joins the chain);
+2. the cached row *filled and chained* (a successor appended);
+3. the cached row's *lock state changed* under the cache (a commit
+   flush released/stole it) — position caching must never serve the old
+   owner or value.
+
+Plus: a cached row the GC fully deleted, and flags-off equivalence.
+"""
+
+import pytest
+
+from repro.core import BeldiConfig, BeldiRuntime, TailCache
+from repro.core import daal
+from repro.core.gc import make_garbage_collector
+
+
+def build_runtime(**config):
+    config.setdefault("gc_t", 500.0)
+    config.setdefault("ic_restart_delay", 50.0)
+    return BeldiRuntime(seed=11, config=BeldiConfig(**config))
+
+
+def run_gc_now(runtime, env, times=1):
+    handler = make_garbage_collector(runtime, env)
+    results = []
+
+    def client():
+        class _Ctx:
+            request_id = "gc-run"
+            invocation_index = 0
+
+            def crash_point(self, tag):
+                pass
+
+        for _ in range(times):
+            results.append(handler(_Ctx(), {}))
+
+    runtime.kernel.spawn(client)
+    runtime.kernel.run()
+    return results
+
+
+def advance(runtime, ms):
+    runtime.kernel.spawn(lambda: runtime.kernel.sleep(ms))
+    runtime.kernel.run()
+
+
+def chain_ids(store, table, key):
+    return daal.load_skeleton(store, table, key).reachable
+
+
+class TestStaleTailFallback:
+    def test_cached_row_that_filled_and_chained(self):
+        """Cache pinned to an old tail; writes chained past it. The read
+        must chase to the real tail and return the newest value."""
+        runtime = build_runtime(row_log_capacity=2, gc_t=1e12)
+
+        def writer(ctx, payload):
+            for value in payload:
+                ctx.write("kv", "k", value)
+            return "ok"
+
+        ssf = runtime.register_ssf("w", writer, tables=["kv"])
+        runtime.run_workflow("w", [1, 2])
+        env = ssf.env
+        table = env.data_table("kv")
+        old_tail = chain_ids(env.store, table, "k")[-1]
+
+        # Wind the cache back to the (current) tail, then chain past it.
+        runtime.tail_cache.remember_tail(table, "k", old_tail)
+        runtime.run_workflow("w", [3, 4, 5, 6, 7])
+        runtime.tail_cache.remember_tail(table, "k", old_tail)
+
+        assert env.peek("kv", "k") == 7  # chased, not stale
+        # And the cache was repaired to the real tail.
+        entry = runtime.tail_cache.tail_of(table, "k")
+        assert entry.row_id == chain_ids(env.store, table, "k")[-1]
+        runtime.kernel.shutdown()
+
+    def test_cached_row_that_gc_disconnected(self):
+        """Cache pinned to an interior row the GC disconnected: the row
+        keeps its NextRow, so the fast path chases back onto the chain
+        and still sees the live tail value."""
+        runtime = build_runtime(row_log_capacity=1)
+
+        def writer(ctx, payload):
+            for value in payload:
+                ctx.write("kv", "k", value)
+            return "ok"
+
+        ssf = runtime.register_ssf("w", writer, tables=["kv"])
+        runtime.run_workflow("w", [1, 2, 3, 4])
+        env = ssf.env
+        table = env.data_table("kv")
+        before = chain_ids(env.store, table, "k")
+        assert len(before) >= 4
+        interior = before[1]
+
+        # GC pass 1 stamps finish times; after T the logs become
+        # recyclable, entries are pruned, and interiors disconnect.
+        run_gc_now(runtime, env)
+        advance(runtime, 600.0)
+        run_gc_now(runtime, env)
+        after = chain_ids(env.store, table, "k")
+        assert interior not in after  # actually disconnected
+        disconnected = env.store.get(table, ("k", interior))
+        assert disconnected is not None and "NextRow" in disconnected
+
+        runtime.tail_cache.remember_tail(table, "k", interior)
+        assert env.peek("kv", "k") == 4
+        runtime.kernel.shutdown()
+
+    def test_cached_row_that_gc_deleted(self):
+        """Cache pinned to a row that dangled past T and was deleted:
+        the get misses, the cache evicts, traversal recovers."""
+        runtime = build_runtime(row_log_capacity=1)
+
+        def writer(ctx, payload):
+            for value in payload:
+                ctx.write("kv", "k", value)
+            return "ok"
+
+        ssf = runtime.register_ssf("w", writer, tables=["kv"])
+        runtime.run_workflow("w", [1, 2, 3, 4])
+        env = ssf.env
+        table = env.data_table("kv")
+        interior = chain_ids(env.store, table, "k")[1]
+
+        run_gc_now(runtime, env)          # stamp finish
+        advance(runtime, 600.0)
+        run_gc_now(runtime, env)          # prune + disconnect + stamp
+        advance(runtime, 600.0)
+        run_gc_now(runtime, env)          # delete the dangled row
+        assert env.store.get(table, ("k", interior)) is None
+
+        runtime.tail_cache.remember_tail(table, "k", interior)
+        assert env.peek("kv", "k") == 4
+        # The stale entry was evicted and replaced by the true tail.
+        entry = runtime.tail_cache.tail_of(table, "k")
+        assert entry is not None
+        assert entry.row_id == chain_ids(env.store, table, "k")[-1]
+        runtime.kernel.shutdown()
+
+    def test_lock_stolen_under_cached_tail(self):
+        """The cache pins positions, never lock state: after a commit
+        flush releases the tail's lock, a cached-tail read of LockOwner
+        sees the release, and a second locker can proceed."""
+        runtime = build_runtime(gc_t=1e12)
+
+        def locker(ctx, payload):
+            ctx.lock("kv", "k")
+            ctx.write("kv", "k", payload)
+            ctx.unlock("kv", "k")
+            return "ok"
+
+        ssf = runtime.register_ssf("w", locker, tables=["kv"])
+        ssf.env.seed("kv", "k", 0)
+        runtime.run_workflow("w", 1)
+        env = ssf.env
+        table = env.data_table("kv")
+        # Cache is hot from the first run; the tail row's lock cycled
+        # under it. A fresh locked run must observe lock-free and win.
+        entry = runtime.tail_cache.tail_of(table, "k")
+        assert entry is not None
+        row = env.store.get(table, ("k", entry.row_id))
+        assert "LockOwner" not in row
+        runtime.run_workflow("w", 2)
+        assert env.peek("kv", "k") == 2
+        runtime.kernel.shutdown()
+
+    def test_release_lock_with_stale_cache_entry(self):
+        """daal.release_lock aimed through a stale cached tail falls
+        back instead of failing or unlocking the wrong row."""
+        runtime = build_runtime(row_log_capacity=1, gc_t=1e12)
+
+        def locker(ctx, payload):
+            ctx.lock("kv", "k")
+            for value in payload:
+                ctx.write("kv", "k", value)
+            return "ok"  # crashes-without-unlock analogue: lock stays
+
+        ssf = runtime.register_ssf("w", locker, tables=["kv"])
+        ssf.env.seed("kv", "k", 0)
+        runtime.run_workflow("w", [1, 2, 3])
+        env = ssf.env
+        table = env.data_table("kv")
+        tail = chain_ids(env.store, table, "k")[-1]
+        owner = env.store.get(table, ("k", tail))["LockOwner"]["Id"]
+
+        cache = runtime.tail_cache
+        cache.remember_tail(table, "k", chain_ids(env.store, table,
+                                                  "k")[0])
+        released = daal.release_lock(env.store, table, "k", owner,
+                                     cache=cache)
+        assert released
+        assert "LockOwner" not in env.store.get(table, ("k", tail))
+        runtime.kernel.shutdown()
+
+
+class TestFlagOffParity:
+    def test_flags_off_touch_no_cache(self):
+        runtime = build_runtime(tail_cache=False, batch_reads=False,
+                                gc_t=1e12)
+
+        def handler(ctx, payload):
+            ctx.write("kv", "k", payload)
+            return ctx.read("kv", "k")
+
+        ssf = runtime.register_ssf("w", handler, tables=["kv"])
+        assert runtime.run_workflow("w", 42) == 42
+        stats = runtime.tail_cache.stats.snapshot()
+        assert all(v == 0 for v in stats.values())
+        assert len(runtime.tail_cache) == 0
+        assert ssf.env.tail_cache is None
+        runtime.kernel.shutdown()
+
+    def test_flags_off_matches_seed_request_pattern(self):
+        """Off = seed: every read/write pays its skeleton query."""
+        runtime = build_runtime(tail_cache=False, gc_t=1e12)
+
+        def handler(ctx, payload):
+            for i in range(10):
+                ctx.write("kv", "k", i)
+                ctx.read("kv", "k")
+            return "ok"
+
+        ssf = runtime.register_ssf("w", handler, tables=["kv"])
+        before = runtime.store.metering.copy()
+        runtime.run_workflow("w")
+        delta = runtime.store.metering.diff(before)
+        # 10 writes probe (1 query each; +1 first-write re-probe after
+        # head creation) and 10 reads traverse (1 query each).
+        assert delta["query"].count >= 20
+        runtime.kernel.shutdown()
+
+
+class TestCacheUnit:
+    def test_note_logged_write_bumps_log_size(self):
+        cache = TailCache()
+        cache.remember_tail("t", "k", "HEAD", 0)
+        cache.note_logged_write("t", "k", "HEAD", "i#0")
+        assert cache.tail_of("t", "k").log_size == 1
+        assert cache.position_of("t", "k", "i#0") == "HEAD"
+
+    def test_note_logged_write_on_other_row_resets_size(self):
+        cache = TailCache()
+        cache.remember_tail("t", "k", "HEAD", 3)
+        cache.note_logged_write("t", "k", "row-9", "i#1")
+        entry = cache.tail_of("t", "k")
+        assert entry.row_id == "row-9"
+        assert entry.log_size is None  # unknown, not guessed
+
+    def test_drop_row_only_evicts_matching_tail(self):
+        cache = TailCache()
+        cache.remember_tail("t", "k", "row-1")
+        cache.drop_row("t", "k", "row-2")
+        assert cache.tail_of("t", "k").row_id == "row-1"
+        cache.drop_row("t", "k", "row-1")
+        assert cache.tail_of("t", "k") is None
+
+    def test_position_eviction_bounded_and_taints(self):
+        cache = TailCache(max_positions=10)
+        for i in range(25):
+            cache.remember_position("t", "k", f"inst-{i}#0", "HEAD")
+        assert len(cache) <= 11  # tails + bounded positions
+        # An instance whose position was evicted must no longer have its
+        # misses trusted (they would read as "never executed").
+        evicted = [i for i in range(25)
+                   if cache.position_of("t", "k", f"inst-{i}#0") is None]
+        assert evicted, "bound never hit?"
+        for i in evicted:
+            assert not cache.trusts_miss(f"inst-{i}#0")
+        kept = [i for i in range(25) if i not in evicted]
+        for i in kept:
+            assert cache.trusts_miss(f"inst-{i}#0")
+
+    def test_evicted_instance_replays_via_full_probe(self):
+        """End-to-end taint check: after position eviction, a replayed
+        write of the same instance must not re-execute."""
+        runtime = build_runtime(gc_t=1e12)
+        runtime.tail_cache._max_positions = 4  # force eviction
+
+        def handler(ctx, payload):
+            for i in range(8):
+                ctx.write("kv", "k", i)
+            ctx.crash_point("mid")
+            return "ok"
+
+        from repro.platform import CrashOnce
+        from repro.platform.errors import FunctionCrashed
+        runtime.platform.crash_policy = CrashOnce("w", "mid")
+        ssf = runtime.register_ssf("w", handler, tables=["kv"])
+        runtime.start_collectors(ic_period=100.0, gc_period=1e12)
+
+        def client():
+            try:
+                runtime.client_call("w", None)
+            except FunctionCrashed:
+                pass
+
+        runtime.kernel.spawn(client)
+        runtime.kernel.run(until=10_000.0)
+        runtime.stop_collectors()
+        runtime.kernel.run(until=11_000.0)
+        env = ssf.env
+        table = env.data_table("kv")
+        rows = [env.store.get(table, ("k", rid)) for rid in
+                daal.load_skeleton(env.store, table, "k").reachable]
+        entries = [k for row in rows for k in row["RecentWrites"]]
+        assert len(entries) == len(set(entries)) == 8  # exactly once
+        assert env.peek("kv", "k") == 7
+        runtime.kernel.shutdown()

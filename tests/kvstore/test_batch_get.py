@@ -1,0 +1,153 @@
+"""``KVStore.batch_get``: semantics, metering, and fault injection."""
+
+import pytest
+
+from repro.kvstore import KVStore, ThrottledError
+from repro.kvstore.expressions import Projection
+from repro.kvstore.faults import FaultPolicy
+from repro.sim import LatencyModel, RandomSource, SimKernel
+from repro.kvstore import KernelTimeSource
+
+
+@pytest.fixture
+def store():
+    s = KVStore()
+    s.create_table("data", hash_key="Key")
+    s.create_table("ranged", hash_key="Key", range_key="RowId")
+    for i in range(5):
+        s.put("data", {"Key": f"k{i}", "V": i})
+        s.put("ranged", {"Key": "item", "RowId": f"r{i}", "V": i})
+    return s
+
+
+class TestSemantics:
+    def test_results_align_with_keys(self, store):
+        items = store.batch_get("data", ["k3", "k0", "k4"])
+        assert [item["V"] for item in items] == [3, 0, 4]
+
+    def test_missing_keys_come_back_as_none(self, store):
+        items = store.batch_get("data", ["k1", "nope", "k2", "gone"])
+        assert items[0]["V"] == 1
+        assert items[1] is None
+        assert items[2]["V"] == 2
+        assert items[3] is None
+
+    def test_empty_batch_is_free(self, store):
+        before = store.metering.copy()
+        assert store.batch_get("data", []) == []
+        assert store.metering.diff(before) == {}
+
+    def test_composite_keys_and_projection(self, store):
+        items = store.batch_get(
+            "ranged", [("item", "r2"), ("item", "r9"), ("item", "r0")],
+            projection=Projection.of("V"))
+        assert items[0] == {"V": 2}
+        assert items[1] is None
+        assert items[2] == {"V": 0}
+
+    def test_duplicate_keys_allowed(self, store):
+        items = store.batch_get("data", ["k1", "k1"])
+        assert [item["V"] for item in items] == [1, 1]
+
+
+class TestMetering:
+    def test_one_round_trip_for_n_rows(self, store):
+        before = store.metering.copy()
+        store.batch_get("data", [f"k{i}" for i in range(5)])
+        delta = store.metering.diff(before)
+        assert set(delta) == {"batch_get"}
+        assert delta["batch_get"].count == 1     # one request...
+        assert delta["batch_get"].items == 5     # ...covering five rows
+
+    def test_read_units_match_n_singleton_gets(self, store):
+        """Batching saves round trips, not read units: the provider
+        still charges per row touched."""
+        keys = [f"k{i}" for i in range(5)]
+        before = store.metering.copy()
+        store.batch_get("data", keys)
+        batched = store.metering.diff(before)["batch_get"]
+
+        singleton = KVStore()
+        singleton.create_table("data", hash_key="Key")
+        for i in range(5):
+            singleton.put("data", {"Key": f"k{i}", "V": i})
+        before = singleton.metering.copy()
+        for key in keys:
+            singleton.get("data", key)
+        gets = singleton.metering.diff(before)["read"]
+
+        assert gets.count == 5
+        assert batched.count == 1
+        assert batched.read_units == pytest.approx(gets.read_units)
+        assert batched.bytes_read == gets.bytes_read
+
+    def test_missing_rows_still_pay_a_unit(self, store):
+        before = store.metering.copy()
+        store.batch_get("data", ["nope-1", "nope-2"])
+        delta = store.metering.diff(before)["batch_get"]
+        assert delta.read_units >= 2.0
+
+
+class TestFaultInjection:
+    def test_throttle_rejects_the_whole_batch(self):
+        s = KVStore(rand=RandomSource(1),
+                    faults=FaultPolicy.for_ops(
+                        ["db.batch_read"], throttle_probability=1.0))
+        s.create_table("data", hash_key="Key")
+        s.put("data", {"Key": "a", "V": 1})
+        with pytest.raises(ThrottledError):
+            s.batch_get("data", ["a", "b", "c"])
+        # Nothing was metered: the batch failed as one unit.
+        assert "batch_get" not in s.metering.ops
+
+    def test_one_throttle_draw_per_batch_not_per_row(self):
+        """p=0.5 throttling over many 8-row batches: if each *row* drew
+        independently, nearly every batch would die (1 - 0.5^8 ≈ 99.6%);
+        a per-batch draw dies about half the time."""
+        s = KVStore(rand=RandomSource(7),
+                    faults=FaultPolicy(throttle_probability=0.5))
+        s.create_table("data", hash_key="Key")
+        keys = [f"k{i}" for i in range(8)]
+        outcomes = []
+        for _ in range(200):
+            try:
+                s.batch_get("data", keys)
+                outcomes.append(True)
+            except ThrottledError:
+                outcomes.append(False)
+        survived = sum(outcomes)
+        assert 60 <= survived <= 140  # ~100 expected; ~1 if per-row
+
+    def test_op_filter_targets_batches_only(self):
+        """``only_ops`` scopes the policy: batch reads throttle, point
+        reads sail through."""
+        s = KVStore(rand=RandomSource(3),
+                    faults=FaultPolicy.for_ops(
+                        ["db.batch_read"], throttle_probability=1.0))
+        s.create_table("data", hash_key="Key")
+        s.put("data", {"Key": "a", "V": 1})
+        assert s.get("data", "a")["V"] == 1
+        with pytest.raises(ThrottledError):
+            s.batch_get("data", ["a"])
+
+    def test_latency_spike_applies_per_batch(self):
+        kernel = SimKernel(seed=5)
+        rand = RandomSource(5)
+        spiky = KVStore(
+            time_source=KernelTimeSource(kernel),
+            latency=LatencyModel(rand.child("lat")),
+            rand=rand.child("store"),
+            faults=FaultPolicy(spike_probability=1.0,
+                               spike_multiplier=10.0))
+        spiky.create_table("data", hash_key="Key")
+        durations = []
+
+        def body():
+            start = kernel.now
+            spiky.batch_get("data", ["a", "b"])
+            durations.append(kernel.now - start)
+
+        kernel.spawn(body)
+        kernel.run()
+        kernel.shutdown()
+        assert durations[0] > 0.0

@@ -42,6 +42,7 @@ from repro.kvstore import (
     Eq,
     Remove,
     Set,
+    batch_get_all,
 )
 from repro.kvstore.expressions import Projection, path
 from repro.platform.context import InvocationContext
@@ -94,7 +95,11 @@ class _Liveness:
         unknown = self._unknown(instance_ids)
         if not unknown:
             return
-        records = self.env.store.batch_get(self.env.intent_table, unknown)
+        # Retry throttled remainders (partial BatchGetItem) rather than
+        # failing the whole liveness check; leftovers fall back to
+        # point gets inside batch_get_all.
+        records = batch_get_all(self.env.store, self.env.intent_table,
+                                unknown)
         for instance_id, record in zip(unknown, records):
             if record is None:
                 self.known_gone.add(instance_id)

@@ -34,7 +34,7 @@ from repro.core.txn import (
     propagate_signal,
     resolve_local,
 )
-from repro.kvstore import KVStore, KernelTimeSource
+from repro.kvstore import KVStore, KernelTimeSource, ShardedStore
 from repro.platform import PlatformConfig, ServerlessPlatform
 from repro.platform.context import InvocationContext
 from repro.platform.errors import (
@@ -65,15 +65,39 @@ class BeldiRuntime:
                  config: Optional[BeldiConfig] = None,
                  platform_config: Optional[PlatformConfig] = None,
                  store: Optional[KVStore] = None,
-                 platform: Optional[ServerlessPlatform] = None) -> None:
+                 platform: Optional[ServerlessPlatform] = None,
+                 shards: int = 1,
+                 shard_capacity: Optional[int] = None) -> None:
+        """``shards > 1`` partitions storage across that many simulated
+        store nodes behind a :class:`~repro.kvstore.ShardedStore` — each
+        node with its own latency stream, fault domain, metering, and
+        (with ``shard_capacity``) bounded service parallelism. The
+        default is the seed's single store; an explicit ``store``
+        overrides both knobs."""
         self.kernel = kernel or SimKernel(seed=seed)
         self.rand = RandomSource(seed, "beldi")
         self.config = config or BeldiConfig()
         latency = LatencyModel(self.rand.child("latency"),
                                scale=latency_scale)
-        self.store = store or KVStore(
-            time_source=KernelTimeSource(self.kernel),
-            latency=latency, rand=self.rand.child("store"))
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if store is not None:
+            self.store = store
+        elif shards > 1:
+            nodes = [
+                KVStore(time_source=KernelTimeSource(self.kernel),
+                        latency=LatencyModel(
+                            self.rand.child(f"latency-shard{i}"),
+                            scale=latency_scale),
+                        rand=self.rand.child(f"store-shard{i}"),
+                        shard_id=i, capacity=shard_capacity)
+                for i in range(shards)]
+            self.store = ShardedStore(nodes)
+        else:
+            self.store = KVStore(
+                time_source=KernelTimeSource(self.kernel),
+                latency=latency, rand=self.rand.child("store"),
+                capacity=shard_capacity)
         self.platform = platform or ServerlessPlatform(
             self.kernel, rand=self.rand.child("platform"),
             latency=latency, config=platform_config)

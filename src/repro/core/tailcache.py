@@ -169,15 +169,20 @@ class TailCache:
 
     def _remember_position(self, table: str, key: Any,
                            log_key: str, row_id: str) -> None:
-        if len(self._positions) >= self._max_positions:
+        cache_key = (table, _hashable(key), log_key)
+        if (cache_key not in self._positions
+                and len(self._positions) >= self._max_positions):
             # A silently dropped position would turn a later miss into a
             # false "never executed" — so eviction taints the affected
             # instances, pushing their future ops onto the full-probe
-            # slow path instead of trusting misses.
-            for stale in list(self._positions)[:self._max_positions // 2]:
+            # slow path instead of trusting misses. Evict at least one
+            # entry so the bound holds even at max_positions == 1, and
+            # taint EVERY instance whose position is dropped.
+            evict = max(1, self._max_positions // 2)
+            for stale in list(self._positions)[:evict]:
                 self._tainted.add(_instance_of(stale[2]))
                 del self._positions[stale]
-        self._positions[(table, _hashable(key), log_key)] = row_id
+        self._positions[cache_key] = row_id
 
     def forget_position(self, table: str, key: Any, log_key: str) -> None:
         if self._positions.pop(
@@ -204,8 +209,31 @@ class TailCache:
         return len(self._tails) + len(self._positions)
 
 
+# Tag sentinels for _hashable's canonical forms. Private object()s (not
+# strings) so no genuine key value can ever equal a tag — the encoding
+# stays injective even against adversarial tuple keys like
+# ("__list__", ...).
+_LIST_TAG = object()
+_DICT_TAG = object()
+
+
 def _hashable(key: Any) -> Any:
-    """Item keys are strings/ints in practice; guard against lists."""
-    if isinstance(key, (list, dict)):
-        return repr(key)
+    """Collision-free hashable stand-in for an item key.
+
+    Unhashable keys (lists/dicts) are converted to a *tagged* canonical
+    form rather than a bare ``repr`` string — a bare repr would let the
+    distinct keys ``{"a": 1}`` and ``"{'a': 1}"`` collide into one cache
+    slot, silently cross-wiring two items' tails and positions. Tuples
+    convert element-wise (a tuple key may carry an unhashable part);
+    dict items are sorted so two equal dicts built in different
+    insertion orders share a slot.
+    """
+    if isinstance(key, tuple):
+        return tuple(_hashable(part) for part in key)
+    if isinstance(key, list):
+        return (_LIST_TAG, tuple(_hashable(part) for part in key))
+    if isinstance(key, dict):
+        return (_DICT_TAG, tuple(
+            sorted(((k, _hashable(v)) for k, v in key.items()),
+                   key=repr)))
     return key

@@ -29,7 +29,7 @@ from typing import Any, Optional
 from repro.core import daal, ops
 from repro.core.env import SHADOW_TXN_INDEX, BeldiEnv
 from repro.core.errors import MisusedApi, TxnAborted
-from repro.kvstore import Set
+from repro.kvstore import Set, batch_get_all
 from repro.kvstore.expressions import Condition, path
 
 EXECUTE = "execute"
@@ -249,8 +249,10 @@ def _shadow_finals(store, shadow: str, skeys, head_rows: dict,
             skeleton = daal.load_skeleton(store, shadow, skey, cache=cache)
             tail_ids[skey] = skeleton.tail  # None when chain vanished
     lookups = [skey for skey in pending if tail_ids[skey] is not None]
-    rows = store.batch_get(shadow,
-                           [(skey, tail_ids[skey]) for skey in lookups])
+    # batch_get_all retries any throttled (unprocessed) remainder, so a
+    # partial batch throttle never fails the whole commit fetch.
+    rows = batch_get_all(store, shadow,
+                         [(skey, tail_ids[skey]) for skey in lookups])
     for skey, row in zip(lookups, rows):
         if row is None or "NextRow" in row:
             # Cached tail went stale between resolution and fetch; evict

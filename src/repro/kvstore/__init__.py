@@ -65,24 +65,30 @@ from repro.kvstore.expressions import (
 )
 from repro.kvstore.item import item_size
 from repro.kvstore.metering import Metering
+from repro.kvstore.sharding import HashRing, ShardedStore, ShardedTableView
 from repro.kvstore.store import (
+    BatchGetResult,
     KernelTimeSource,
     KVStore,
     NullTimeSource,
     TransactDelete,
     TransactPut,
     TransactUpdate,
+    batch_get_all,
 )
 from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
 
 __all__ = [
-    "Add", "And", "AttrExists", "AttrNotExists", "BeginsWith", "Between",
-    "ConditionFailed", "Contains", "Delete", "Eq", "Ge", "Gt", "IfNotExists",
+    "Add", "And", "AttrExists", "AttrNotExists", "BatchGetResult",
+    "BeginsWith", "Between",
+    "ConditionFailed", "Contains", "Delete", "Eq", "Ge", "Gt", "HashRing",
+    "IfNotExists",
     "In", "ItemTooLarge", "KVStore", "KVStoreError", "KernelTimeSource",
     "KeySchema", "Le", "ListAppend", "Lt", "Metering", "Minus", "Ne", "Not",
     "NullTimeSource", "Or", "Path", "PathRef", "Plus", "QueryResult",
-    "Remove", "ScanResult", "Set", "SizeEq", "SizeGe", "SizeGt", "SizeLe",
+    "Remove", "ScanResult", "Set", "ShardedStore", "ShardedTableView",
+    "SizeEq", "SizeGe", "SizeGt", "SizeLe",
     "SizeLt", "Table", "TableExists", "TableNotFound", "ThrottledError",
     "TransactDelete", "TransactPut", "TransactUpdate", "TransactionCanceled",
-    "Value", "item_size", "path",
+    "Value", "batch_get_all", "item_size", "path",
 ]

@@ -28,34 +28,52 @@ class FaultPolicy:
         tests target one operation kind — e.g. throttle batched reads as
         whole batches while leaving point reads untouched. ``None``
         applies to everything.
+    only_shards:
+        When set, the policy only applies to store nodes with these
+        ``shard_id`` values — a *per-shard fault domain*: one sick shard
+        of a :class:`~repro.kvstore.sharding.ShardedStore` throttles or
+        spikes while its siblings serve normally. A node with no shard id
+        (an unsharded store) is unaffected by a shard-scoped policy.
 
     A batched operation (``batch_get``) consults the policy **once per
     batch**, not once per row: one draw throttles or spikes the whole
     round trip, which is exactly how a provider-side throttle behaves.
+    A throttled batch is *partially* served, DynamoDB-style: the store
+    returns the rows it processed and reports the rest as unprocessed
+    (see :meth:`~repro.kvstore.KVStore.batch_get`).
     """
 
     throttle_probability: float = 0.0
     spike_probability: float = 0.0
     spike_multiplier: float = 10.0
     only_ops: Optional[frozenset] = None
+    only_shards: Optional[frozenset] = None
 
     @classmethod
     def for_ops(cls, ops: Iterable[str], **kwargs) -> "FaultPolicy":
         return cls(only_ops=frozenset(ops), **kwargs)
 
-    def applies_to(self, op: str) -> bool:
-        return self.only_ops is None or op in self.only_ops
+    @classmethod
+    def for_shards(cls, shards: Iterable[int], **kwargs) -> "FaultPolicy":
+        return cls(only_shards=frozenset(shards), **kwargs)
 
-    def should_throttle(self, rand: RandomSource,
-                        op: str = "") -> bool:
-        if not self.applies_to(op):
+    def applies_to(self, op: str, shard: Optional[int] = None) -> bool:
+        if self.only_ops is not None and op not in self.only_ops:
+            return False
+        if self.only_shards is not None and shard not in self.only_shards:
+            return False
+        return True
+
+    def should_throttle(self, rand: RandomSource, op: str = "",
+                        shard: Optional[int] = None) -> bool:
+        if not self.applies_to(op, shard):
             return False
         return (self.throttle_probability > 0
                 and rand.random() < self.throttle_probability)
 
-    def latency_multiplier(self, rand: RandomSource,
-                           op: str = "") -> float:
-        if not self.applies_to(op):
+    def latency_multiplier(self, rand: RandomSource, op: str = "",
+                           shard: Optional[int] = None) -> float:
+        if not self.applies_to(op, shard):
             return 1.0
         if self.spike_probability > 0 and rand.random() < (
                 self.spike_probability):

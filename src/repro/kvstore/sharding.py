@@ -1,0 +1,472 @@
+"""A sharded store: N ``KVStore`` nodes behind one facade.
+
+The linked DAAL keys every chain by ``(table, key)`` with all of an
+item's rows sharing the item's hash key — exactly the unit a partitioned
+store needs. :class:`ShardedStore` exploits that: it routes each
+``(table, partition key)`` to one of N :class:`~repro.kvstore.KVStore`
+nodes via consistent hashing, so
+
+- every row of one item's chain (and therefore every row-scoped atomic
+  conditional write, which is Beldi's whole atomicity story) lives on a
+  single node;
+- ``query`` — the skeleton traversal — is a single-node operation;
+- each node keeps its **own** latency model, fault domain
+  (:class:`~repro.kvstore.faults.FaultPolicy` with ``only_shards``),
+  service capacity, and metering, so per-shard throttling, latency
+  spikes, and saturation are all expressible;
+- the DAAL, transaction, GC, and collector layers go through the facade
+  unchanged — it implements the full ``KVStore`` surface.
+
+Fan-out operations:
+
+``scan``
+    Walks the nodes in shard order; ``last_evaluated_key`` is a tagged
+    ``(_SHARD_TOKEN, shard index, node key)`` tuple so paged scans (the
+    GC's Appendix-A refinement) resume where they stopped.
+``query_index``
+    Queries every node and concatenates in shard order (each node's
+    result is internally sorted; global order is deterministic).
+``batch_get``
+    Splits the batch by owning shard, one round trip per involved node,
+    and re-merges aligned with the request. A node's partial throttle
+    (or full ``ThrottledError``) surfaces as unprocessed positions; the
+    call only raises when **no** key anywhere was served.
+``transact_write``
+    Ops on a single shard delegate to that node's native transaction.
+    Ops spanning shards fall back to a lock-based two-phase path: pay a
+    prepare and a commit round of conditional-write latency on every
+    involved shard, then check all conditions and apply all writes under
+    the involved tables' locks in deterministic order. The store
+    substrate is durable and non-crashing by assumption (§2.2), so the
+    coordinator window collapses to latency — what remains observable is
+    the two-round cost and all-or-nothing atomicity.
+
+Routing is stable: an MD5-based hash ring with virtual nodes, keyed by
+``"<table>|<partition key repr>"`` — independent of process hash seeds,
+so a given key lands on the same shard in every run and every test.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Any, Optional, Sequence
+
+from repro.kvstore.errors import (
+    TableExists,
+    TableNotFound,
+    ThrottledError,
+)
+from repro.kvstore.expressions import Condition, Projection
+from repro.kvstore.metering import Metering, OpRecord
+from repro.kvstore.store import (
+    BatchGetResult,
+    KVStore,
+    TransactPut,
+    TransactOp,
+)
+from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
+
+_SHARD_TOKEN = "__shard__"
+
+
+class HashRing:
+    """Consistent hashing over shard indexes with virtual nodes.
+
+    ``replicas`` virtual points per shard smooth the key distribution;
+    MD5 keeps placement stable across processes and Python versions
+    (``hash()`` is salted per process and would reshard every run).
+    """
+
+    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+        if n_shards <= 0:
+            raise ValueError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        points = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append((self._digest(f"shard-{shard}#{replica}"),
+                               shard))
+        points.sort()
+        self._points = [p[0] for p in points]
+        self._owners = [p[1] for p in points]
+
+    @staticmethod
+    def _digest(token: str) -> int:
+        return int.from_bytes(
+            hashlib.md5(token.encode("utf-8")).digest()[:8], "big")
+
+    def shard_of(self, token: str) -> int:
+        """The shard owning ``token`` (first point clockwise)."""
+        position = bisect_right(self._points, self._digest(token))
+        if position == len(self._points):
+            position = 0
+        return self._owners[position]
+
+
+class ShardedTableView:
+    """The facade's answer to ``store.table(name)``.
+
+    Presents one logical table backed by N physical ones. Index
+    management fans out (indexes exist on every node); direct row
+    operations route to the owning node's :class:`Table` — zero-latency,
+    unmetered access, same as touching a ``Table`` directly (benchmark
+    seeding and tests use this).
+    """
+
+    def __init__(self, store: "ShardedStore", name: str) -> None:
+        self._store = store
+        self.name = name
+
+    @property
+    def schema(self) -> KeySchema:
+        return self._node_tables()[0].schema
+
+    @property
+    def max_item_bytes(self) -> int:
+        return self._node_tables()[0].max_item_bytes
+
+    @property
+    def _indexes(self) -> dict:
+        # All nodes carry identical index definitions; node 0 speaks for
+        # the logical table.
+        return self._node_tables()[0]._indexes
+
+    def _node_tables(self) -> list[Table]:
+        return [node._tables[self.name] for node in self._store.nodes]
+
+    def _owner(self, key: Any) -> Table:
+        node = self._store.node_for(self.name, key)
+        return node._tables[self.name]
+
+    def add_index(self, name: str, attribute: str) -> None:
+        for table in self._node_tables():
+            table.add_index(name, attribute)
+
+    # -- direct (latency-free) row access ------------------------------------
+    def get(self, key: Any,
+            projection: Optional[Projection] = None) -> Optional[dict]:
+        return self._owner(key).get(key, projection=projection)
+
+    def put(self, item: dict,
+            condition: Optional[Condition] = None) -> None:
+        key = self.schema.extract(item)
+        self._owner(key).put(item, condition=condition)
+
+    def update(self, key: Any, updates, condition=None) -> dict:
+        return self._owner(key).update(key, updates, condition=condition)
+
+    def delete(self, key: Any, condition=None) -> Optional[dict]:
+        return self._owner(key).delete(key, condition=condition)
+
+    # -- stats ----------------------------------------------------------------
+    def item_count(self) -> int:
+        return sum(t.item_count() for t in self._node_tables())
+
+    def storage_bytes(self) -> int:
+        return sum(t.storage_bytes() for t in self._node_tables())
+
+
+class ShardedStore:
+    """N store nodes behind the single-store facade.
+
+    Drop-in for :class:`KVStore` everywhere above the storage layer: the
+    DAAL, ops, txn, GC, and env code paths run unchanged. Construct with
+    pre-built nodes (each carrying its own time source, latency model,
+    fault policy, and capacity), or let
+    :meth:`~repro.core.runtime.BeldiRuntime` build a fleet via its
+    ``shards=`` parameter.
+    """
+
+    def __init__(self, nodes: Sequence[KVStore],
+                 ring: Optional[HashRing] = None) -> None:
+        if not nodes:
+            raise ValueError("a sharded store needs at least one node")
+        self.nodes = list(nodes)
+        self.ring = ring or HashRing(len(self.nodes))
+        if self.ring.n_shards != len(self.nodes):
+            raise ValueError(
+                f"ring covers {self.ring.n_shards} shards but "
+                f"{len(self.nodes)} nodes were given")
+        self._schemas: dict[str, KeySchema] = {}
+        self._views: dict[str, ShardedTableView] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.nodes)
+
+    # -- routing ---------------------------------------------------------------
+    def _route_token(self, table: str, partition_value: Any) -> str:
+        return f"{table}|{partition_value!r}"
+
+    def shard_for(self, table: str, key: Any) -> int:
+        """The shard index owning ``(table, key)``; key may be a scalar
+        partition value (even for a ranged table), a (hash, range)
+        tuple, or an item dict — only the partition component routes, so
+        one item's whole chain co-locates."""
+        schema = self._schemas.get(table)
+        if schema is None:
+            raise TableNotFound(f"no table named {table!r}")
+        if isinstance(key, dict):
+            partition_value = key[schema.hash_key]
+        elif isinstance(key, tuple):
+            partition_value = key[0]
+        else:
+            partition_value = key
+        return self.ring.shard_of(self._route_token(table, partition_value))
+
+    def node_for(self, table: str, key: Any) -> KVStore:
+        return self.nodes[self.shard_for(table, key)]
+
+    # -- table management ------------------------------------------------------
+    def create_table(self, name: str, hash_key: str,
+                     range_key: Optional[str] = None,
+                     max_item_bytes: Optional[int] = None
+                     ) -> ShardedTableView:
+        if name in self._schemas:
+            raise TableExists(f"table {name!r} already exists")
+        for node in self.nodes:
+            node.create_table(name, hash_key, range_key, max_item_bytes)
+        self._schemas[name] = KeySchema(hash_key, range_key)
+        view = ShardedTableView(self, name)
+        self._views[name] = view
+        return view
+
+    def ensure_table(self, name: str, hash_key: str,
+                     range_key: Optional[str] = None,
+                     max_item_bytes: Optional[int] = None
+                     ) -> ShardedTableView:
+        if name in self._schemas:
+            return self._views[name]
+        return self.create_table(name, hash_key, range_key, max_item_bytes)
+
+    def table(self, name: str) -> ShardedTableView:
+        view = self._views.get(name)
+        if view is None:
+            raise TableNotFound(f"no table named {name!r}")
+        return view
+
+    def drop_table(self, name: str) -> None:
+        for node in self.nodes:
+            node.drop_table(name)
+        self._schemas.pop(name, None)
+        self._views.pop(name, None)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    # -- point ops (route to the owner) ----------------------------------------
+    def get(self, table: str, key: Any,
+            projection: Optional[Projection] = None) -> Optional[dict]:
+        return self.node_for(table, key).get(table, key,
+                                             projection=projection)
+
+    def put(self, table: str, item: dict,
+            condition: Optional[Condition] = None) -> None:
+        self.node_for(table, item).put(table, item, condition=condition)
+
+    def update(self, table: str, key: Any, updates,
+               condition: Optional[Condition] = None) -> dict:
+        return self.node_for(table, key).update(table, key, updates,
+                                                condition=condition)
+
+    def delete(self, table: str, key: Any,
+               condition: Optional[Condition] = None) -> Optional[dict]:
+        return self.node_for(table, key).delete(table, key,
+                                                condition=condition)
+
+    def query(self, table: str, hash_value: Any, **kwargs) -> QueryResult:
+        # One partition lives on exactly one shard — no fan-out.
+        return self.node_for(table, hash_value).query(table, hash_value,
+                                                      **kwargs)
+
+    # -- fan-out reads ----------------------------------------------------------
+    def batch_get(self, table: str, keys: Sequence[Any],
+                  projection: Optional[Projection] = None
+                  ) -> BatchGetResult:
+        """Per-shard fan-out of one logical batch, re-merged in order.
+
+        One ``batch_get`` round trip per involved node. Partial
+        throttles (and whole-node ``ThrottledError``\\ s) become
+        unprocessed positions in the merged result; the call raises only
+        when not a single key on any shard was served.
+        """
+        if not keys:
+            return BatchGetResult()
+        by_shard: dict[int, list[int]] = {}
+        for index, key in enumerate(keys):
+            by_shard.setdefault(self.shard_for(table, key), []).append(index)
+        results: list[Optional[dict]] = [None] * len(keys)
+        unprocessed: list[int] = []
+        served_any = False
+        for shard in sorted(by_shard):
+            indexes = by_shard[shard]
+            try:
+                got = self.nodes[shard].batch_get(
+                    table, [keys[i] for i in indexes],
+                    projection=projection)
+            except ThrottledError:
+                unprocessed.extend(indexes)
+                continue
+            unserved = set(got.unprocessed_indexes)
+            for position, index in enumerate(indexes):
+                if position in unserved:
+                    unprocessed.append(index)
+                else:
+                    served_any = True
+                    results[index] = got[position]
+        if not served_any:
+            raise ThrottledError("db.batch_read throttled on every shard")
+        return BatchGetResult(results,
+                              unprocessed_indexes=sorted(unprocessed),
+                              keys=keys)
+
+    def scan(self, table: str,
+             filter_condition: Optional[Condition] = None,
+             projection: Optional[Projection] = None,
+             limit: Optional[int] = None,
+             exclusive_start: Optional[Any] = None) -> ScanResult:
+        """Shard-ordered scan with cross-shard paging.
+
+        ``last_evaluated_key`` from a truncated sharded scan is a tagged
+        tuple ``(_SHARD_TOKEN, shard, node_key)``; pass it back as
+        ``exclusive_start`` to resume. Plain (untagged) start keys are
+        not meaningful across shards and are rejected.
+        """
+        if table not in self._schemas:
+            raise TableNotFound(f"no table named {table!r}")
+        start_shard, node_start = 0, None
+        if exclusive_start is not None:
+            if not (isinstance(exclusive_start, tuple)
+                    and len(exclusive_start) == 3
+                    and exclusive_start[0] == _SHARD_TOKEN):
+                raise ValueError(
+                    "sharded scan resumes only from a last_evaluated_key "
+                    "it produced")
+            _, start_shard, node_start = exclusive_start
+        items: list[dict] = []
+        scanned = 0
+        consumed = 0
+        for shard in range(start_shard, self.n_shards):
+            remaining = None if limit is None else limit - scanned
+            if remaining is not None and remaining <= 0:
+                return ScanResult(items,
+                                  (_SHARD_TOKEN, shard, None),
+                                  scanned, consumed)
+            result = self.nodes[shard].scan(
+                table, filter_condition=filter_condition,
+                projection=projection, limit=remaining,
+                exclusive_start=node_start if shard == start_shard
+                else None)
+            items.extend(result.items)
+            scanned += result.scanned_count
+            consumed += result.consumed_bytes
+            if result.last_evaluated_key is not None:
+                return ScanResult(
+                    items,
+                    (_SHARD_TOKEN, shard, result.last_evaluated_key),
+                    scanned, consumed)
+        return ScanResult(items, None, scanned, consumed)
+
+    def query_index(self, table: str, index_name: str, value: Any,
+                    projection: Optional[Projection] = None) -> list[dict]:
+        if table not in self._schemas:
+            raise TableNotFound(f"no table named {table!r}")
+        items: list[dict] = []
+        for node in self.nodes:
+            items.extend(node.query_index(table, index_name, value,
+                                          projection=projection))
+        return items
+
+    # -- cross-shard transactions ------------------------------------------------
+    def transact_write(self, ops: Sequence[TransactOp]) -> None:
+        """All-or-nothing conditional writes, across shards if need be.
+
+        Single-shard groups delegate to the owning node's native
+        ``TransactWriteItems``. A cross-shard group runs the lock-based
+        two-phase path: a *prepare* and a *commit* round of
+        conditional-write latency on each involved shard (2PC's two
+        round trips), then — under every involved table's lock, in
+        deterministic (shard, table) order — all conditions are checked
+        and all writes applied with no intervening yield point. Nodes
+        are durable and never crash (§2.2), so the protocol cannot stall
+        between rounds; its observable cost is the doubled per-shard
+        latency, its observable guarantee atomicity.
+        """
+        if not ops:
+            return
+        groups: dict[int, list[TransactOp]] = {}
+        for op in ops:
+            key = op.item if isinstance(op, TransactPut) else op.key
+            groups.setdefault(self.shard_for(op.table, key), []).append(op)
+        if len(groups) == 1:
+            shard, shard_ops = next(iter(groups.items()))
+            self.nodes[shard].transact_write(shard_ops)
+            return
+        # Phase 1 latency: one prepare round per involved shard.
+        for shard in sorted(groups):
+            self.nodes[shard]._pay("db.txn", units=len(groups[shard]))
+        # Phase 2 latency: one commit round per involved shard.
+        for shard in sorted(groups):
+            self.nodes[shard]._pay("db.txn", units=len(groups[shard]))
+        # Decision + apply under every involved table's lock.
+        tables: dict[tuple, Table] = {}
+        for shard, shard_ops in groups.items():
+            for op in shard_ops:
+                tables[(shard, op.table)] = (
+                    self.nodes[shard]._tables[op.table])
+        ordered = [tables[key] for key in sorted(tables)]
+        acquired: list[Table] = []
+        try:
+            for tbl in ordered:
+                tbl._lock.acquire()
+                acquired.append(tbl)
+            self._transact_locked(groups)
+        finally:
+            for tbl in reversed(acquired):
+                tbl._lock.release()
+
+    def _transact_locked(self, groups: dict) -> None:
+        # Same check-then-apply semantics as one node's transaction,
+        # reusing its phases so the two paths cannot drift — just spread
+        # over every involved shard (each meters its own portion).
+        for shard in sorted(groups):
+            self.nodes[shard]._transact_check(groups[shard])
+        for shard in sorted(groups):
+            self.nodes[shard]._transact_apply(groups[shard])
+
+    # -- stats ---------------------------------------------------------------------
+    @property
+    def metering(self) -> Metering:
+        """Fleet-wide counters, merged fresh from every node.
+
+        Per-node books stay on ``nodes[i].metering``; this merged view
+        satisfies the single-store reporting idiom
+        (``copy()``/``diff()``/``dollar_cost()``).
+        """
+        merged = Metering()
+        for node in self.nodes:
+            for op, rec in node.metering.ops.items():
+                out = merged.ops.setdefault(op, OpRecord())
+                out.count += rec.count
+                out.items += rec.items
+                out.bytes_read += rec.bytes_read
+                out.bytes_written += rec.bytes_written
+                out.read_units += rec.read_units
+                out.write_units += rec.write_units
+            merged.per_table.update(node.metering.per_table)
+        return merged
+
+    def storage_bytes(self, table: Optional[str] = None) -> int:
+        return sum(node.storage_bytes(table) for node in self.nodes)
+
+    def item_count(self, table: str) -> int:
+        return sum(node.item_count(table) for node in self.nodes)
+
+    def items_per_shard(self, table: str) -> list[int]:
+        """Row counts by shard (balance observability)."""
+        return [node.item_count(table) for node in self.nodes]
+
+
+__all__ = ["HashRing", "ShardedStore", "ShardedTableView"]

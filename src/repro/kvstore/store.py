@@ -29,7 +29,7 @@ from repro.kvstore.item import item_size
 from repro.kvstore.metering import Metering
 from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
 from repro.sim.kernel import SimKernel
-from repro.sim.latency import LatencyModel
+from repro.sim.latency import LatencyModel, ServiceCapacity
 from repro.sim.randsrc import RandomSource
 
 
@@ -44,13 +44,19 @@ class TimeSource:
 
 
 class NullTimeSource(TimeSource):
-    """Zero-latency time source for direct (non-simulated) use."""
+    """Zero-latency time source for direct (non-simulated) use.
+
+    Zero- and negative-duration sleeps are no-ops, exactly as in
+    :class:`KernelTimeSource` — the two sources must agree so that a
+    zero-latency store meters and times identically under both.
+    """
 
     def __init__(self) -> None:
         self._ticks = 0.0
 
     def sleep(self, duration: float) -> None:
-        self._ticks += duration
+        if duration > 0:
+            self._ticks += duration
 
     def now(self) -> float:
         return self._ticks
@@ -95,17 +101,58 @@ class TransactDelete:
 TransactOp = Union[TransactPut, TransactUpdate, TransactDelete]
 
 
+class BatchGetResult(list):
+    """``batch_get``'s return value: aligned rows plus the unserved rest.
+
+    Behaves as a plain list of ``Optional[dict]`` aligned with the
+    requested keys (missing rows are ``None``), so callers that predate
+    partial results keep working unchanged. Under throttling the store
+    may serve only part of the batch — DynamoDB's ``UnprocessedKeys`` —
+    in which case the unserved positions are ``None`` *and* listed in
+    :attr:`unprocessed_indexes`/:attr:`unprocessed_keys` for the caller
+    to retry. Use :func:`batch_get_all` for a retrying wrapper.
+    """
+
+    def __init__(self, items: Sequence[Optional[dict]] = (),
+                 unprocessed_indexes: Sequence[int] = (),
+                 keys: Sequence[Any] = ()) -> None:
+        super().__init__(items)
+        self.unprocessed_indexes: list[int] = list(unprocessed_indexes)
+        self.unprocessed_keys: list[Any] = [
+            keys[i] for i in self.unprocessed_indexes] if keys else []
+
+    @property
+    def complete(self) -> bool:
+        return not self.unprocessed_indexes
+
+
 class KVStore:
-    """A collection of tables behind one latency/metering boundary."""
+    """A collection of tables behind one latency/metering boundary.
+
+    ``shard_id`` names this node inside a
+    :class:`~repro.kvstore.sharding.ShardedStore` (``None`` for a
+    standalone store) and scopes shard-targeted fault policies.
+    ``capacity`` bounds the node's parallelism: when set, operations
+    queue through a :class:`~repro.sim.latency.ServiceCapacity` with that
+    many servers, so a saturated node exhibits queueing delay instead of
+    unbounded concurrency.
+    """
 
     def __init__(self, time_source: Optional[TimeSource] = None,
                  latency: Optional[LatencyModel] = None,
                  rand: Optional[RandomSource] = None,
-                 faults: Optional[FaultPolicy] = None) -> None:
+                 faults: Optional[FaultPolicy] = None,
+                 shard_id: Optional[int] = None,
+                 capacity: Optional[int] = None) -> None:
         self.time = time_source or NullTimeSource()
         self.latency = latency or LatencyModel.zero()
         self.rand = rand or RandomSource(0, "kvstore")
         self.faults = faults
+        self.shard_id = shard_id
+        # capacity=0 must reach ServiceCapacity's ValueError, not
+        # silently mean "unbounded" — only None disables queueing.
+        self.queue = (ServiceCapacity(capacity)
+                      if capacity is not None else None)
         self.metering = Metering()
         self._tables: dict[str, Table] = {}
 
@@ -142,13 +189,26 @@ class KVStore:
         return sorted(self._tables)
 
     # -- latency/fault boundary --------------------------------------------------
-    def _pay(self, op: str, units: float = 0.0) -> None:
+    def _throttled(self, op: str) -> bool:
+        return (self.faults is not None
+                and self.faults.should_throttle(self.rand, op,
+                                                shard=self.shard_id))
+
+    def _charge(self, op: str, units: float = 0.0) -> None:
+        """Pay the virtual-time cost of one (admitted) operation."""
         multiplier = 1.0
         if self.faults is not None:
-            if self.faults.should_throttle(self.rand, op):
-                raise ThrottledError(f"{op} throttled")
-            multiplier = self.faults.latency_multiplier(self.rand, op)
-        self.time.sleep(self.latency.sample(op, units=units) * multiplier)
+            multiplier = self.faults.latency_multiplier(
+                self.rand, op, shard=self.shard_id)
+        service = self.latency.sample(op, units=units) * multiplier
+        if self.queue is not None and service > 0:
+            service = self.queue.delay(self.time.now(), service)
+        self.time.sleep(service)
+
+    def _pay(self, op: str, units: float = 0.0) -> None:
+        if self._throttled(op):
+            raise ThrottledError(f"{op} throttled")
+        self._charge(op, units=units)
 
     # -- point ops ---------------------------------------------------------------
     def get(self, table: str, key: Any,
@@ -162,28 +222,43 @@ class KVStore:
 
     def batch_get(self, table: str, keys: Sequence[Any],
                   projection: Optional[Projection] = None
-                  ) -> list[Optional[dict]]:
+                  ) -> BatchGetResult:
         """Read many rows of one table in a single round trip.
 
         Models DynamoDB ``BatchGetItem`` restricted to one table: the
-        whole batch pays one latency/fault draw (a throttle rejects the
-        entire batch) and meters as a single request whose read units
-        cover every row. Results align with ``keys``; missing rows come
-        back as ``None``. An empty batch is free.
+        whole batch pays one latency/fault draw and meters as a single
+        request whose read units cover every served row. Results align
+        with ``keys``; missing rows come back as ``None``. An empty
+        batch is free.
+
+        Throttling is DynamoDB-style **partial**: a throttle draw serves
+        only a prefix of the batch and reports the remainder through
+        :attr:`BatchGetResult.unprocessed_indexes` — callers retry the
+        rest (see :func:`batch_get_all`). Only when *nothing* could be
+        served (always the case for a single-key batch) does the call
+        raise :class:`ThrottledError`, matching the point-read contract.
         """
         if not keys:
-            return []
+            return BatchGetResult()
         tbl = self.table(table)
-        self._pay("db.batch_read", units=len(keys))
+        served = len(keys)
+        if self._throttled("db.batch_read"):
+            served = self.rand.randint(0, len(keys) - 1)
+            if served == 0:
+                raise ThrottledError("db.batch_read throttled")
+        self._charge("db.batch_read", units=served)
         items: list[Optional[dict]] = []
         total_bytes = 0
-        for key in keys:
+        for key in keys[:served]:
             item = tbl.get(key, projection=projection)
             items.append(item)
             total_bytes += item_size(item) if item else 0
+        items.extend(None for _ in range(len(keys) - served))
         self.metering.record_read("batch_get", table, total_bytes,
-                                  items=len(keys))
-        return items
+                                  items=served)
+        return BatchGetResult(items,
+                              unprocessed_indexes=range(served, len(keys)),
+                              keys=keys)
 
     def put(self, table: str, item: dict,
             condition: Optional[Condition] = None) -> None:
@@ -284,7 +359,15 @@ class KVStore:
                 tbl._lock.release()
 
     def _transact_locked(self, ops: Sequence[TransactOp]) -> None:
-        # Phase 1: check all conditions against current state.
+        self._transact_check(ops)
+        self._transact_apply(ops)
+
+    def _transact_check(self, ops: Sequence[TransactOp]) -> None:
+        """Phase 1: check all conditions against current state.
+
+        Callers must hold every involved table's lock (this store's
+        ``transact_write`` does; a ``ShardedStore`` holds the locks
+        across all involved nodes before checking any of them)."""
         for op in ops:
             tbl = self.table(op.table)
             if isinstance(op, TransactPut):
@@ -295,8 +378,10 @@ class KVStore:
                     existing):
                 raise TransactionCanceled(
                     f"condition failed on {op.table}")
-        # Phase 2: apply (conditions re-checked by the table; they cannot
-        # fail because we hold every table lock).
+
+    def _transact_apply(self, ops: Sequence[TransactOp]) -> None:
+        """Phase 2: apply (conditions re-checked by the table; they
+        cannot fail because every table lock is held)."""
         total_bytes = 0
         for op in ops:
             tbl = self.table(op.table)
@@ -322,7 +407,45 @@ class KVStore:
         return self.table(table).item_count()
 
 
+def batch_get_all(store, table: str, keys: Sequence[Any],
+                  projection: Optional[Projection] = None,
+                  attempts: int = 4) -> list[Optional[dict]]:
+    """``batch_get`` that retries the unprocessed remainder to completion.
+
+    Issues up to ``attempts`` batched round trips, each covering only the
+    keys the previous one left unprocessed; whatever still remains after
+    that falls back to point ``get``\\ s (the pre-batching behavior, with
+    its usual throttling semantics). The returned plain list aligns with
+    ``keys``. This is the retry loop DynamoDB's SDKs run for
+    ``UnprocessedKeys``, and what the transaction-commit and GC callers
+    use so a partial throttle never fails a whole batch.
+    """
+    results: list[Optional[dict]] = [None] * len(keys)
+    pending = list(range(len(keys)))
+    for _ in range(attempts):
+        if not pending:
+            return results
+        try:
+            got = store.batch_get(table, [keys[i] for i in pending],
+                                  projection=projection)
+        except ThrottledError:
+            continue  # nothing served this round; retry the same set
+        unprocessed = set(got.unprocessed_indexes)
+        still_pending = []
+        for position, index in enumerate(pending):
+            if position in unprocessed:
+                still_pending.append(index)
+            else:
+                results[index] = got[position]
+        pending = still_pending
+    for index in pending:
+        results[index] = store.get(table, keys[index],
+                                   projection=projection)
+    return results
+
+
 __all__ = [
+    "BatchGetResult",
     "ConditionFailed",
     "KVStore",
     "KernelTimeSource",
@@ -331,4 +454,5 @@ __all__ = [
     "TransactDelete",
     "TransactPut",
     "TransactUpdate",
+    "batch_get_all",
 ]

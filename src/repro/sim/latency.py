@@ -13,6 +13,7 @@ Times are virtual milliseconds throughout the repository.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, Optional
@@ -114,3 +115,42 @@ class LatencyModel:
     def zero(cls) -> "LatencyModel":
         """A model where everything takes no virtual time."""
         return cls(RandomSource(0), scale=0.0)
+
+
+class ServiceCapacity:
+    """A ``c``-server FIFO queue in virtual time.
+
+    Models the bounded parallelism of one store node: at most ``servers``
+    operations are in service at once, and excess arrivals wait for the
+    earliest server to free up. Latency distributions stay the node's
+    *service* times; this class turns them into *sojourn* times (queueing
+    delay + service), which is what makes a saturated node visible and
+    sharding worthwhile — N nodes bring N x ``servers`` aggregate
+    capacity.
+
+    The reservation is made at arrival and never released early, so a
+    given arrival order yields a deterministic schedule regardless of how
+    the simulated processes interleave afterwards.
+    """
+
+    def __init__(self, servers: int) -> None:
+        if servers <= 0:
+            raise ValueError(f"need at least one server, got {servers}")
+        self.servers = servers
+        self._free_at = [0.0] * servers
+        heapq.heapify(self._free_at)
+        self.stats_waited = 0.0
+        self.stats_served = 0
+
+    def delay(self, now: float, service_time: float) -> float:
+        """Reserve a server at ``now``; return wait + service time."""
+        earliest = heapq.heappop(self._free_at)
+        start = max(now, earliest)
+        heapq.heappush(self._free_at, start + service_time)
+        self.stats_waited += start - now
+        self.stats_served += 1
+        return (start - now) + service_time
+
+    def busy_until(self) -> float:
+        """When the most-loaded server frees up (observability)."""
+        return max(self._free_at)

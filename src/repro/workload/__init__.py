@@ -12,16 +12,20 @@ runner assembles rate sweeps like Figures 14/15/26.
 from repro.workload.generator import LoadGenerator, LoadResult
 from repro.workload.recorder import LatencyRecorder
 from repro.workload.runner import (
+    ClosedLoopResult,
     SweepPoint,
+    run_closed_loop,
     run_constant_load,
     run_sweep,
 )
 
 __all__ = [
+    "ClosedLoopResult",
     "LatencyRecorder",
     "LoadGenerator",
     "LoadResult",
     "SweepPoint",
+    "run_closed_loop",
     "run_constant_load",
     "run_sweep",
 ]

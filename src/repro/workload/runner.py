@@ -1,12 +1,13 @@
-"""Experiment runners: constant-rate points and rate sweeps."""
+"""Experiment runners: constant-rate points, rate sweeps, closed loops."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.sim.randsrc import RandomSource
 from repro.workload.generator import LoadGenerator, LoadResult
+from repro.workload.recorder import LatencyRecorder
 
 
 @dataclass
@@ -16,6 +17,76 @@ class SweepPoint:
 
     def row(self) -> dict:
         return self.result.row()
+
+
+@dataclass
+class ClosedLoopResult:
+    """Outcome of one parallel multi-user closed-loop run."""
+
+    makespan_ms: float
+    failures: int
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    @property
+    def completed(self) -> int:
+        return self.recorder.count
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.completed / (self.makespan_ms / 1000.0)
+
+    def row(self) -> dict:
+        return {
+            "completed": self.completed,
+            "failures": self.failures,
+            "makespan_ms": round(self.makespan_ms, 1),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "p50_ms": round(self.recorder.p50, 1)
+            if self.recorder.samples else None,
+            "p99_ms": round(self.recorder.p99, 1)
+            if self.recorder.samples else None,
+        }
+
+
+def run_closed_loop(runtime: Any, entry: str,
+                    user_payloads: Sequence[Sequence[Any]]
+                    ) -> ClosedLoopResult:
+    """Parallel multi-user closed loop: one client process per user,
+    each issuing its payload sequence back-to-back through the gateway.
+
+    Closed-loop (think-time-free) clients expose *capacity*: with N
+    users the system sees at most N in-flight requests, and throughput
+    over the makespan measures how fast the backend can actually serve
+    them — the measurement shard scaling is judged by, complementing the
+    open-loop generator's saturation knees. The makespan ends when the
+    last user finishes; platform watchdog events draining afterwards are
+    not workload time. Platform-level failures (crash, timeout,
+    rejection) are counted, not raised.
+    """
+    from repro.platform.errors import (FunctionCrashed, FunctionTimeout,
+                                       TooManyRequests)
+    result = ClosedLoopResult(makespan_ms=0.0, failures=0)
+    finished_at = [0.0]
+
+    def user(payloads: Sequence[Any]) -> None:
+        for payload in payloads:
+            start = runtime.kernel.now
+            try:
+                runtime.client_call(entry, payload)
+            except (FunctionCrashed, FunctionTimeout, TooManyRequests):
+                result.failures += 1
+                continue
+            result.recorder.record(start, runtime.kernel.now)
+        finished_at[0] = max(finished_at[0], runtime.kernel.now)
+
+    start = runtime.kernel.now
+    for index, payloads in enumerate(user_payloads):
+        runtime.kernel.spawn(user, list(payloads), name=f"user-{index}")
+    runtime.kernel.run()
+    result.makespan_ms = finished_at[0] - start
+    return result
 
 
 def run_constant_load(runtime: Any, entry: str,

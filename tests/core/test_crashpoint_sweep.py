@@ -37,16 +37,27 @@ GC_T = 400.0
 RECOVERY_SLICE = 500.0
 RECOVERY_HORIZON = 40_000.0
 
+# ``shards`` is a runtime knob, not a BeldiConfig flag: it partitions
+# the simulated store across that many nodes behind a ShardedStore. The
+# sharded sweep proves the commit protocol's shadow writes stay atomic
+# when they span shard boundaries.
 FLAG_SETTINGS = {
     "fastpath-on": dict(tail_cache=True, batch_reads=True),
     "fastpath-off": dict(tail_cache=False, batch_reads=False),
+    "fastpath-on-shards2": dict(tail_cache=True, batch_reads=True,
+                                shards=2),
 }
+UNSHARDED_SETTINGS = [name for name, flags in FLAG_SETTINGS.items()
+                      if "shards" not in flags]
 
 
-def _config(flags: dict) -> BeldiConfig:
-    return BeldiConfig(ic_restart_delay=200.0, gc_t=GC_T,
-                       lock_retry_backoff=5.0, lock_retry_limit=500,
-                       **flags)
+def _runtime(flags: dict) -> BeldiRuntime:
+    flags = dict(flags)
+    shards = flags.pop("shards", 1)
+    config = BeldiConfig(ic_restart_delay=200.0, gc_t=GC_T,
+                         lock_retry_backoff=5.0, lock_retry_limit=500,
+                         **flags)
+    return BeldiRuntime(seed=SEED, config=config, shards=shards)
 
 
 # ---------------------------------------------------------------------------
@@ -57,11 +68,14 @@ class TravelReserveScenario:
     """One cross-SSF reservation transaction (hotel + flight + booking)."""
 
     entry = "frontend"
+    # flight-0001 (not -0000) so that at shards=2 the hotel and flight
+    # rows live on different shards — asserted by
+    # test_sharded_sweep_actually_crosses_shards below.
     payload = {"action": "reserve", "user": "user-0000",
-               "hotel": "hotel-0000", "flight": "flight-0000"}
+               "hotel": "hotel-0000", "flight": "flight-0001"}
 
     def build(self, flags: dict):
-        runtime = BeldiRuntime(seed=SEED, config=_config(flags))
+        runtime = _runtime(flags)
         app = TravelReservationApp(seed=SEED, n_hotels=2, n_flights=2,
                                    rooms_per_hotel=2, seats_per_flight=2,
                                    n_users=1)
@@ -96,7 +110,7 @@ class MovieComposeScenario:
                "rating": 8}
 
     def build(self, flags: dict):
-        runtime = BeldiRuntime(seed=SEED, config=_config(flags))
+        runtime = _runtime(flags)
         app = MovieReviewApp(seed=SEED, n_movies=2, n_users=1)
         app.register(runtime)
         app.seed_data(runtime)
@@ -255,6 +269,25 @@ def test_travel_reserve_crash_sweep(flags_name):
     sweep("travel-reserve", flags_name)
 
 
-@pytest.mark.parametrize("flags_name", sorted(FLAG_SETTINGS))
+@pytest.mark.parametrize("flags_name", sorted(UNSHARDED_SETTINGS))
 def test_movie_compose_crash_sweep(flags_name):
     sweep("movie-compose", flags_name)
+
+
+def test_sharded_sweep_actually_crosses_shards():
+    """The shards=2 sweep is only meaningful if the reservation's three
+    effects (hotel inventory, flight seats, booking record) do not all
+    co-locate on one shard — pin that property so a routing change
+    cannot silently turn the sharded sweep into a single-shard one."""
+    scenario = SCENARIOS["travel-reserve"]
+    runtime, app = scenario.build(FLAG_SETTINGS["fastpath-on-shards2"])
+    store = runtime.store
+    touched = {
+        store.shard_for(app.envs["reserve_hotel"].data_table("inventory"),
+                        scenario.payload["hotel"]),
+        store.shard_for(app.envs["reserve_flight"].data_table("seats"),
+                        scenario.payload["flight"]),
+    }
+    runtime.kernel.shutdown()
+    assert len(touched) > 1, (
+        "hotel and flight rows landed on one shard; pick other keys")

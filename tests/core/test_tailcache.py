@@ -316,3 +316,92 @@ class TestCacheUnit:
         assert len(entries) == len(set(entries)) == 8  # exactly once
         assert env.peek("kv", "k") == 7
         runtime.kernel.shutdown()
+
+
+class TestEvictionRegressions:
+    """Audit of capacity eviction under ``max_positions`` pressure."""
+
+    def test_bound_holds_at_max_positions_one(self):
+        """The degenerate bound: ``max // 2 == 0`` must still evict one
+        entry (and taint its instance), not let the map grow forever."""
+        cache = TailCache(max_positions=1)
+        for i in range(20):
+            cache.remember_position("t", "k", f"solo-{i}#0", "HEAD")
+            assert len(cache._positions) <= 1
+        # Every displaced instance was tainted on its way out.
+        for i in range(19):
+            assert not cache.trusts_miss(f"solo-{i}#0")
+        assert cache.trusts_miss("solo-19#0")
+
+    def test_every_dropped_instance_is_tainted(self):
+        """One eviction wave drops many entries; each dropped entry's
+        instance must be tainted — not just the first."""
+        cache = TailCache(max_positions=8)
+        for i in range(8):
+            cache.remember_position("t", f"k{i}", f"wave-{i}#0", "HEAD")
+        # The 9th insert evicts max(1, 8 // 2) = 4 entries at once.
+        cache.remember_position("t", "k8", "wave-8#0", "HEAD")
+        dropped = [i for i in range(8)
+                   if cache.position_of("t", f"k{i}", f"wave-{i}#0")
+                   is None]
+        assert len(dropped) == 4
+        for i in dropped:
+            assert not cache.trusts_miss(f"wave-{i}#0"), (
+                f"instance wave-{i} lost a position but is still trusted")
+
+    def test_overwrite_does_not_evict(self):
+        """Re-recording an already-present position is not growth and
+        must not trigger an eviction wave (which would taint innocents)."""
+        cache = TailCache(max_positions=4)
+        for i in range(4):
+            cache.remember_position("t", f"k{i}", f"keep-{i}#0", "HEAD")
+        for _ in range(10):
+            cache.remember_position("t", "k0", "keep-0#0", "row-2")
+        for i in range(4):
+            assert cache.trusts_miss(f"keep-{i}#0")
+        assert cache.position_of("t", "k0", "keep-0#0") == "row-2"
+
+
+class TestHashableKeyRegressions:
+    """``_hashable`` must keep distinct keys in distinct cache slots."""
+
+    def test_dict_key_does_not_collide_with_its_repr(self):
+        cache = TailCache()
+        dict_key = {"a": 1}
+        str_key = repr(dict_key)  # "{'a': 1}"
+        cache.remember_tail("t", dict_key, "row-dict")
+        cache.remember_tail("t", str_key, "row-str")
+        assert cache.tail_of("t", dict_key).row_id == "row-dict"
+        assert cache.tail_of("t", str_key).row_id == "row-str"
+        cache.forget("t", str_key)
+        assert cache.tail_of("t", dict_key).row_id == "row-dict"
+
+    def test_list_key_does_not_collide_with_its_repr(self):
+        cache = TailCache()
+        cache.remember_position("t", [1, 2], "a#0", "row-list")
+        cache.remember_position("t", "[1, 2]", "a#1", "row-str")
+        assert cache.position_of("t", [1, 2], "a#0") == "row-list"
+        assert cache.position_of("t", [1, 2], "a#1") is None
+        assert cache.position_of("t", "[1, 2]", "a#1") == "row-str"
+
+    def test_equal_dicts_share_a_slot_regardless_of_order(self):
+        cache = TailCache()
+        cache.remember_tail("t", {"a": 1, "b": 2}, "row-x")
+        entry = cache.tail_of("t", {"b": 2, "a": 1})
+        assert entry is not None and entry.row_id == "row-x"
+
+    def test_tuple_key_with_unhashable_part(self):
+        cache = TailCache()
+        cache.remember_tail("t", ("k", ["r1"]), "row-t")
+        assert cache.tail_of("t", ("k", ["r1"])).row_id == "row-t"
+        assert cache.tail_of("t", ("k", "['r1']")) is None
+
+    def test_tag_lookalike_tuple_does_not_collide_with_list(self):
+        """The canonical encoding must be injective even against a
+        genuine tuple key that mimics the tag shape."""
+        cache = TailCache()
+        cache.remember_tail("t", ["a"], "row-list")
+        cache.remember_tail("t", ("__list__", ("a",)), "row-tuple")
+        assert cache.tail_of("t", ["a"]).row_id == "row-list"
+        assert cache.tail_of("t", ("__list__", ("a",))).row_id == (
+            "row-tuple")

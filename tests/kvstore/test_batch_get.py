@@ -89,34 +89,100 @@ class TestMetering:
 
 
 class TestFaultInjection:
-    def test_throttle_rejects_the_whole_batch(self):
+    def test_single_key_throttle_raises(self):
+        """A 1-key batch has no partial to serve: throttle = rejection,
+        matching the point-read contract."""
         s = KVStore(rand=RandomSource(1),
                     faults=FaultPolicy.for_ops(
                         ["db.batch_read"], throttle_probability=1.0))
         s.create_table("data", hash_key="Key")
         s.put("data", {"Key": "a", "V": 1})
         with pytest.raises(ThrottledError):
-            s.batch_get("data", ["a", "b", "c"])
+            s.batch_get("data", ["a"])
         # Nothing was metered: the batch failed as one unit.
         assert "batch_get" not in s.metering.ops
 
+    def test_throttle_serves_a_partial_prefix(self):
+        """DynamoDB-style partial results: a throttled multi-key batch
+        serves a prefix and reports the rest as unprocessed."""
+        s = KVStore(rand=RandomSource(2),
+                    faults=FaultPolicy.for_ops(
+                        ["db.batch_read"], throttle_probability=1.0))
+        s.create_table("data", hash_key="Key")
+        for i in range(6):
+            s.put("data", {"Key": f"k{i}", "V": i})
+        keys = [f"k{i}" for i in range(6)]
+        saw_partial = False
+        for _ in range(50):
+            try:
+                result = s.batch_get("data", keys)
+            except ThrottledError:
+                continue  # served == 0 this draw
+            assert result.unprocessed_keys, "throttled batch came whole"
+            saw_partial = True
+            served = len(keys) - len(result.unprocessed_keys)
+            # The served prefix is real data, aligned with the request.
+            for i in range(served):
+                assert result[i] == {"Key": f"k{i}", "V": i}
+            # Unserved positions are None and listed for retry.
+            for i in result.unprocessed_indexes:
+                assert result[i] is None
+            assert result.unprocessed_keys == keys[served:]
+        assert saw_partial
+
+    def test_partial_batch_meters_only_served_rows(self):
+        s = KVStore(rand=RandomSource(3),
+                    faults=FaultPolicy.for_ops(
+                        ["db.batch_read"], throttle_probability=1.0))
+        s.create_table("data", hash_key="Key")
+        for i in range(6):
+            s.put("data", {"Key": f"k{i}", "V": i})
+        keys = [f"k{i}" for i in range(6)]
+        while True:
+            before = s.metering.copy()
+            try:
+                result = s.batch_get("data", keys)
+                break
+            except ThrottledError:
+                assert s.metering.diff(before) == {}
+        served = len(keys) - len(result.unprocessed_keys)
+        delta = s.metering.diff(before)["batch_get"]
+        assert delta.count == 1
+        assert delta.items == served
+
     def test_one_throttle_draw_per_batch_not_per_row(self):
         """p=0.5 throttling over many 8-row batches: if each *row* drew
-        independently, nearly every batch would die (1 - 0.5^8 ≈ 99.6%);
-        a per-batch draw dies about half the time."""
+        independently, nearly every batch would be degraded
+        (1 - 0.5^8 ≈ 99.6%); a per-batch draw degrades about half."""
         s = KVStore(rand=RandomSource(7),
                     faults=FaultPolicy(throttle_probability=0.5))
         s.create_table("data", hash_key="Key")
         keys = [f"k{i}" for i in range(8)]
-        outcomes = []
+        whole = 0
         for _ in range(200):
             try:
-                s.batch_get("data", keys)
-                outcomes.append(True)
+                result = s.batch_get("data", keys)
             except ThrottledError:
-                outcomes.append(False)
-        survived = sum(outcomes)
-        assert 60 <= survived <= 140  # ~100 expected; ~1 if per-row
+                continue
+            if result.complete:
+                whole += 1
+        assert 60 <= whole <= 140  # ~100 expected; ~1 if per-row
+
+    def test_batch_get_all_retries_the_remainder(self):
+        """The caller-side loop completes a batch under heavy batch
+        throttling by retrying unprocessed keys, falling back to point
+        gets (which this policy leaves alone) if batches stay degraded."""
+        from repro.kvstore import batch_get_all
+        s = KVStore(rand=RandomSource(11),
+                    faults=FaultPolicy.for_ops(
+                        ["db.batch_read"], throttle_probability=1.0))
+        s.create_table("data", hash_key="Key")
+        for i in range(8):
+            s.put("data", {"Key": f"k{i}", "V": i})
+        rows = batch_get_all(s, "data",
+                             [f"k{i}" for i in range(8)] + ["missing"])
+        assert [r["V"] for r in rows[:8]] == list(range(8))
+        assert rows[8] is None
 
     def test_op_filter_targets_batches_only(self):
         """``only_ops`` scopes the policy: batch reads throttle, point

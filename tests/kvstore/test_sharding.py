@@ -1,0 +1,352 @@
+"""``ShardedStore``: routing, fan-out, faults, cross-shard transactions."""
+
+import pytest
+
+from repro.kvstore import (
+    AttrNotExists,
+    Eq,
+    HashRing,
+    KVStore,
+    KernelTimeSource,
+    Set,
+    ShardedStore,
+    TableNotFound,
+    ThrottledError,
+    TransactPut,
+    TransactUpdate,
+    TransactionCanceled,
+    batch_get_all,
+)
+from repro.kvstore.faults import FaultPolicy
+from repro.sim import LatencyModel, RandomSource, SimKernel
+
+
+def make_store(n=4, faults_by_shard=None, capacity=None):
+    nodes = [
+        KVStore(rand=RandomSource(i, "node"), shard_id=i,
+                faults=(faults_by_shard or {}).get(i),
+                capacity=capacity)
+        for i in range(n)]
+    return ShardedStore(nodes)
+
+
+@pytest.fixture
+def store():
+    s = make_store(4)
+    s.create_table("data", hash_key="Key")
+    s.create_table("chains", hash_key="Key", range_key="RowId")
+    return s
+
+
+class TestRouting:
+    def test_stable_and_deterministic(self, store):
+        other = make_store(4)
+        other.create_table("data", hash_key="Key")
+        for i in range(50):
+            key = f"k{i}"
+            assert store.shard_for("data", key) == other.shard_for(
+                "data", key)
+
+    def test_reasonable_balance(self, store):
+        owners = {store.shard_for("data", f"key-{i:03d}")
+                  for i in range(200)}
+        assert owners == {0, 1, 2, 3}, "200 keys must touch every shard"
+
+    def test_chain_rows_colocate(self, store):
+        """All rows of one item's chain (same hash key) share a shard —
+        the property row-scoped atomic conditional writes depend on."""
+        for row in ("HEAD", "r1", "r2"):
+            store.put("chains", {"Key": "item-7", "RowId": row})
+        counts = store.items_per_shard("chains")
+        assert sorted(counts) == [0, 0, 0, 3]
+
+    def test_facade_reads_what_it_writes(self, store):
+        for i in range(40):
+            store.put("data", {"Key": f"k{i}", "V": i})
+        for i in range(40):
+            assert store.get("data", f"k{i}")["V"] == i
+        assert store.item_count("data") == 40
+
+    def test_ring_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedStore([KVStore(), KVStore()], ring=HashRing(3))
+
+    def test_unknown_table_rejected(self, store):
+        with pytest.raises(TableNotFound):
+            store.get("ghost", "a")
+        with pytest.raises(TableNotFound):
+            store.scan("ghost")
+
+
+class TestTableViews:
+    def test_tables_exist_on_every_node(self, store):
+        for node in store.nodes:
+            assert node.table_names() == ["chains", "data"]
+
+    def test_add_index_fans_out(self, store):
+        view = store.table("data")
+        view.add_index("by_flag", "Flag")
+        for node in store.nodes:
+            assert "by_flag" in node.table("data")._indexes
+        store.put("data", {"Key": "a", "Flag": "on"})
+        store.put("data", {"Key": "b", "Flag": "on"})
+        store.put("data", {"Key": "c"})
+        hits = store.query_index("data", "by_flag", "on")
+        assert sorted(item["Key"] for item in hits) == ["a", "b"]
+
+    def test_direct_view_ops_route(self, store):
+        view = store.table("data")
+        view.put({"Key": "x", "V": 1})
+        assert view.get("x")["V"] == 1
+        view.update("x", [Set("V", 2)])
+        assert store.get("data", "x")["V"] == 2
+        assert view.delete("x")["V"] == 2
+        assert store.get("data", "x") is None
+
+
+class TestQueriesAndScans:
+    def test_query_hits_one_shard(self, store):
+        for row in ("HEAD", "r1"):
+            store.put("chains", {"Key": "q-item", "RowId": row})
+        result = store.query("chains", "q-item")
+        assert [r["RowId"] for r in result.items] == ["HEAD", "r1"]
+        # Exactly one node paid a query round trip.
+        queried = [n for n in store.nodes
+                   if "query" in n.metering.ops]
+        assert len(queried) == 1
+
+    def test_scan_merges_all_shards(self, store):
+        keys = {f"k{i}" for i in range(30)}
+        for key in keys:
+            store.put("data", {"Key": key})
+        result = store.scan("data")
+        assert {item["Key"] for item in result.items} == keys
+        assert result.last_evaluated_key is None
+
+    def test_paged_scan_visits_everything_once(self, store):
+        keys = {f"k{i}" for i in range(23)}
+        for key in keys:
+            store.put("data", {"Key": key})
+        seen = []
+        cursor = None
+        for _ in range(40):
+            page = store.scan("data", limit=4, exclusive_start=cursor)
+            seen.extend(item["Key"] for item in page.items)
+            cursor = page.last_evaluated_key
+            if cursor is None:
+                break
+        assert sorted(seen) == sorted(keys)
+        assert len(seen) == len(keys)
+
+    def test_foreign_start_key_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.scan("data", exclusive_start=("k1",))
+
+
+class TestBatchGet:
+    def test_fans_out_and_realigns(self, store):
+        for i in range(12):
+            store.put("data", {"Key": f"k{i}", "V": i})
+        keys = [f"k{i}" for i in (7, 0, 99, 3, 11)]
+        result = store.batch_get("data", keys)
+        assert [r["V"] if r else None for r in result] == [7, 0, None, 3,
+                                                           11]
+        assert result.complete
+        # One round trip per involved shard, not per key.
+        trips = sum(n.metering.ops["batch_get"].count
+                    for n in store.nodes if "batch_get" in n.metering.ops)
+        shards_touched = len({store.shard_for("data", k) for k in keys})
+        assert trips == shards_touched
+
+    def test_one_sick_shard_yields_partial_results(self):
+        sick = FaultPolicy.for_ops(["db.batch_read"],
+                                   throttle_probability=1.0)
+        store = make_store(4, faults_by_shard={1: sick})
+        store.create_table("data", hash_key="Key")
+        keys = [f"k{i}" for i in range(32)]
+        for key in keys:
+            store.put("data", {"Key": key})
+        sick_keys = {k for k in keys if store.shard_for("data", k) == 1}
+        assert sick_keys and len(sick_keys) < len(keys)
+        result = store.batch_get("data", keys)
+        # Healthy shards served fully; the sick shard's keys are the
+        # unprocessed remainder (minus any partial prefix it served).
+        assert set(result.unprocessed_keys) <= sick_keys
+        for i, key in enumerate(keys):
+            if key not in sick_keys:
+                assert result[i] == {"Key": key}
+        assert not result.complete
+
+    def test_all_shards_sick_raises(self):
+        sick = FaultPolicy.for_ops(["db.batch_read"],
+                                   throttle_probability=1.0)
+        store = make_store(2, faults_by_shard={0: sick, 1: sick})
+        store.create_table("data", hash_key="Key")
+        store.put("data", {"Key": "a"})
+        # Single-key-per-shard batches cannot be partially served, so
+        # eventually a draw rejects everything everywhere.
+        with pytest.raises(ThrottledError):
+            for _ in range(100):
+                store.batch_get("data", ["a"])
+
+    def test_batch_get_all_completes_through_sick_shard(self):
+        sick = FaultPolicy.for_ops(["db.batch_read"],
+                                   throttle_probability=1.0)
+        store = make_store(4, faults_by_shard={1: sick})
+        store.create_table("data", hash_key="Key")
+        keys = [f"k{i}" for i in range(32)]
+        for key in keys:
+            store.put("data", {"Key": key})
+        rows = batch_get_all(store, "data", keys)
+        assert all(rows[i] == {"Key": key} for i, key in enumerate(keys))
+
+
+class TestPerShardFaultDomains:
+    def test_only_shards_scopes_point_reads(self):
+        sick = FaultPolicy(only_ops=frozenset(["db.read"]),
+                           only_shards=frozenset([2]),
+                           throttle_probability=1.0)
+        store = make_store(4,
+                           faults_by_shard={i: sick for i in range(4)})
+        store.create_table("data", hash_key="Key")
+        keys = [f"k{i}" for i in range(32)]
+        for key in keys:
+            store.put("data", {"Key": key})
+        for key in keys:
+            if store.shard_for("data", key) == 2:
+                with pytest.raises(ThrottledError):
+                    store.get("data", key)
+            else:
+                assert store.get("data", key) == {"Key": key}
+
+    def test_shard_scoped_policy_ignores_unsharded_store(self):
+        plain = KVStore(faults=FaultPolicy.for_shards(
+            [0], throttle_probability=1.0))
+        plain.create_table("data", hash_key="Key")
+        plain.put("data", {"Key": "a"})
+        assert plain.get("data", "a") == {"Key": "a"}
+
+    def test_per_shard_latency_spike(self):
+        kernel = SimKernel(seed=3)
+        spike = FaultPolicy.for_shards([0], spike_probability=1.0,
+                                       spike_multiplier=50.0)
+        nodes = [
+            KVStore(time_source=KernelTimeSource(kernel),
+                    latency=LatencyModel(RandomSource(i, "lat")),
+                    rand=RandomSource(i, "store"), shard_id=i,
+                    faults=spike)
+            for i in range(2)]
+        store = ShardedStore(nodes)
+        store.create_table("data", hash_key="Key")
+        durations = {}
+
+        def probe(shard, key):
+            start = kernel.now
+            store.get("data", key)
+            durations[shard] = kernel.now - start
+
+        k0 = next(f"k{i}" for i in range(100)
+                  if store.shard_for("data", f"k{i}") == 0)
+        k1 = next(f"k{i}" for i in range(100)
+                  if store.shard_for("data", f"k{i}") == 1)
+        kernel.spawn(probe, 0, k0)
+        kernel.run()
+        kernel.spawn(probe, 1, k1)
+        kernel.run()
+        kernel.shutdown()
+        assert durations[0] > 10 * durations[1]
+
+
+class TestCrossShardTransactions:
+    def _spread_keys(self, store, table, want=2):
+        """Two keys guaranteed to live on different shards."""
+        keys = [f"t{i}" for i in range(100)]
+        by_shard = {}
+        for key in keys:
+            by_shard.setdefault(store.shard_for(table, key), key)
+            if len(by_shard) >= want:
+                break
+        return list(by_shard.values())
+
+    def test_single_shard_group_delegates(self, store):
+        store.put("data", {"Key": "solo", "V": 0})
+        store.transact_write([
+            TransactUpdate("data", ("solo",), [Set("V", 1)]),
+        ])
+        assert store.get("data", "solo")["V"] == 1
+
+    def test_cross_shard_commit_is_atomic(self, store):
+        a, b = self._spread_keys(store, "data")
+        store.transact_write([
+            TransactPut("data", {"Key": a, "V": "A"},
+                        condition=AttrNotExists("Key")),
+            TransactPut("data", {"Key": b, "V": "B"},
+                        condition=AttrNotExists("Key")),
+        ])
+        assert store.get("data", a)["V"] == "A"
+        assert store.get("data", b)["V"] == "B"
+
+    def test_cross_shard_condition_failure_applies_nothing(self, store):
+        a, b = self._spread_keys(store, "data")
+        store.put("data", {"Key": b, "V": "old"})
+        with pytest.raises(TransactionCanceled):
+            store.transact_write([
+                TransactPut("data", {"Key": a, "V": "A"},
+                            condition=AttrNotExists("Key")),
+                TransactPut("data", {"Key": b, "V": "B"},
+                            condition=AttrNotExists("Key")),
+            ])
+        assert store.get("data", a) is None, "partial transaction applied"
+        assert store.get("data", b)["V"] == "old"
+
+    def test_cross_shard_pays_two_rounds_per_shard(self):
+        kernel = SimKernel(seed=9)
+        nodes = [
+            KVStore(time_source=KernelTimeSource(kernel),
+                    latency=LatencyModel(RandomSource(i, "lat")),
+                    rand=RandomSource(i, "store"), shard_id=i)
+            for i in range(2)]
+        store = ShardedStore(nodes)
+        store.create_table("data", hash_key="Key")
+        a, b = TestCrossShardTransactions()._spread_keys(store, "data")
+        elapsed = {}
+
+        def single():
+            start = kernel.now
+            store.transact_write([TransactPut("data", {"Key": a, "V": 1})])
+            elapsed["single"] = kernel.now - start
+
+        def cross():
+            start = kernel.now
+            store.transact_write([
+                TransactPut("data", {"Key": a, "V": 2}),
+                TransactPut("data", {"Key": b, "V": 2}),
+            ])
+            elapsed["cross"] = kernel.now - start
+
+        kernel.spawn(single)
+        kernel.run()
+        kernel.spawn(cross)
+        kernel.run()
+        kernel.shutdown()
+        # Two db.txn rounds on each of two shards vs one round on one.
+        assert elapsed["cross"] > 2 * elapsed["single"]
+
+
+class TestMergedStats:
+    def test_metering_merges_nodes(self, store):
+        for i in range(20):
+            store.put("data", {"Key": f"k{i}", "V": i})
+        merged = store.metering
+        assert merged.ops["write"].count == 20
+        per_node = sum(n.metering.ops.get("write").count
+                       for n in store.nodes if "write" in n.metering.ops)
+        assert per_node == 20
+        assert merged.dollar_cost() > 0
+
+    def test_storage_accounting_sums_shards(self, store):
+        for i in range(10):
+            store.put("data", {"Key": f"k{i}", "V": "x" * 50})
+        assert store.storage_bytes("data") == sum(
+            n.storage_bytes("data") for n in store.nodes)
+        assert store.item_count("data") == 10

@@ -176,6 +176,93 @@ class TestVirtualLatency:
         assert store.time.now() == 0.0
 
 
+class TestTimeSourceAlignment:
+    """``NullTimeSource`` and ``KernelTimeSource`` must agree on
+    zero-duration sleeps: neither advances, so metering and timing are
+    invariant to which source backs a zero-latency store."""
+
+    def test_zero_duration_sleep_is_a_noop_in_both(self):
+        from repro.kvstore import NullTimeSource
+        null = NullTimeSource()
+        null.sleep(0.0)
+        null.sleep(-1.0)  # defensive: negative durations never advance
+        assert null.now() == 0.0
+        kernel = SimKernel(seed=0)
+        kts = KernelTimeSource(kernel)
+        kts.sleep(0.0)  # outside any process: must not blow up or move
+        assert kts.now() == 0.0
+        kernel.shutdown()
+
+    def test_positive_sleep_still_advances_null_source(self):
+        from repro.kvstore import NullTimeSource
+        null = NullTimeSource()
+        null.sleep(2.5)
+        assert null.now() == 2.5
+
+    def test_zero_latency_store_meters_identically_under_both(self):
+        from repro.kvstore import NullTimeSource
+
+        def drive(store):
+            store.create_table("data", hash_key="Key")
+            store.put("data", {"Key": "a", "V": 1})
+            store.get("data", "a")
+            store.batch_get("data", ["a", "b"])
+            store.scan("data")
+            return store.metering.snapshot(), store.time.now()
+
+        null_store = KVStore(time_source=NullTimeSource())
+        kernel = SimKernel(seed=0)
+        kernel_store = KVStore(time_source=KernelTimeSource(kernel))
+        null_metered, null_now = drive(null_store)
+        kernel_metered = None
+
+        def body():
+            nonlocal kernel_metered
+            kernel_metered = drive(kernel_store)
+
+        kernel.spawn(body)
+        kernel.run()
+        kernel.shutdown()
+        assert null_metered == kernel_metered[0]
+        assert null_now == kernel_metered[1] == 0.0
+
+
+class TestServiceCapacity:
+    def test_bounded_parallelism_queues_in_virtual_time(self):
+        """With 1 server, N concurrent readers serialize: total elapsed
+        ~= sum of service times; with plenty of servers they overlap."""
+        from repro.sim.latency import ServiceCapacity
+
+        def makespan(servers):
+            kernel = SimKernel(seed=5)
+            rand = RandomSource(5)
+            store = KVStore(time_source=KernelTimeSource(kernel),
+                            latency=LatencyModel(rand.child("lat")),
+                            rand=rand.child("store"),
+                            capacity=servers)
+            store.create_table("data", hash_key="Key")
+            store.table("data").put({"Key": "a"})
+            for _ in range(8):
+                kernel.spawn(lambda: store.get("data", "a"))
+            end = kernel.run()
+            kernel.shutdown()
+            return end
+
+        serial = makespan(1)
+        parallel = makespan(8)
+        assert serial > 4 * parallel
+
+    def test_rejects_nonpositive_capacity(self):
+        from repro.sim.latency import ServiceCapacity
+        with pytest.raises(ValueError):
+            ServiceCapacity(0)
+
+    def test_store_capacity_zero_rejected_not_unbounded(self):
+        """capacity=0 must be an error, not silently 'no queue'."""
+        with pytest.raises(ValueError):
+            KVStore(capacity=0)
+
+
 class TestConditionFailures:
     def test_condition_failed_propagates(self, store):
         store.put("data", {"Key": "a", "N": 1})

@@ -132,3 +132,55 @@ class TestSweep:
         row = point.row()
         assert set(row) >= {"offered_rps", "achieved_rps", "p50_ms",
                             "p99_ms", "completed", "rejected"}
+
+
+class TestClosedLoop:
+    def _runtime(self, **kwargs):
+        runtime = BeldiRuntime(seed=2, latency_scale=1.0, **kwargs)
+
+        def echo(ctx, payload):
+            ctx.write("kv", payload["key"], payload["value"])
+            return payload["value"]
+
+        ssf = runtime.register_ssf("echo", echo, tables=["kv"])
+        return runtime, ssf
+
+    def test_all_requests_complete_and_are_measured(self):
+        from repro.workload import run_closed_loop
+        runtime, ssf = self._runtime()
+        result = run_closed_loop(
+            runtime, "echo",
+            [[{"key": f"u{u}", "value": k} for k in range(3)]
+             for u in range(5)])
+        assert result.completed == 15
+        assert result.failures == 0
+        assert result.makespan_ms > 0
+        assert result.throughput_rps > 0
+        assert result.recorder.p99 >= result.recorder.p50 > 0
+        for u in range(5):
+            assert ssf.env.peek("kv", f"u{u}") == 2
+        runtime.kernel.shutdown()
+
+    def test_makespan_excludes_watchdog_drain(self):
+        """The platform's execution-timeout watchdogs fire long after the
+        last user finishes; they must not stretch the makespan."""
+        from repro.workload import run_closed_loop
+        runtime, _ssf = self._runtime(
+            platform_config=PlatformConfig(default_timeout=500_000.0))
+        result = run_closed_loop(runtime, "echo",
+                                 [[{"key": "a", "value": 1}]])
+        assert result.makespan_ms < 100_000.0
+        runtime.kernel.shutdown()
+
+    def test_rejections_counted_not_raised(self):
+        from repro.workload import run_closed_loop
+        runtime, _ssf = self._runtime(
+            platform_config=PlatformConfig(concurrency_limit=1))
+        # 8 users x 1 request against a 1-slot gateway: most get
+        # TooManyRequests, which must surface as counted failures.
+        result = run_closed_loop(runtime, "echo",
+                                 [[{"key": f"u{u}", "value": 0}]
+                                  for u in range(8)])
+        assert result.completed + result.failures == 8
+        assert result.failures > 0
+        runtime.kernel.shutdown()

@@ -16,12 +16,14 @@ from repro.bench.fig_shard_scaling import (
     SHARD_COUNTS,
     run_scaling,
     scaling_table,
+    shard_dashboards,
 )
 
 
 def test_shard_scaling():
     points = run_scaling(SHARD_COUNTS)
     emit("shard_scaling", scaling_table(points))
+    emit("shard_metering", shard_dashboards(points))
 
     by_shards = {p["shards"]: p for p in points}
     # Every configuration completed the whole workload, error-free.
@@ -44,3 +46,13 @@ def test_shard_scaling():
 
     # The key population actually spread: no empty shard at 4 nodes.
     assert all(c > 0 for c in by_shards[4]["keys_per_shard"])
+
+    # Per-shard metering dashboard: every shard served requests, the
+    # dashboard's row counts agree with items_per_shard, and the summed
+    # books match the facade's merged view.
+    rows = by_shards[4]["per_shard"]
+    assert [row["items"] for row in rows] == by_shards[4]["keys_per_shard"]
+    assert all(row["requests"] > 0 for row in rows)
+    total = sum(row["dollars"] for row in rows)
+    per_op = total / by_shards[4]["completed"]
+    assert per_op >= by_shards[4]["dollars_per_op"]  # includes seeding

@@ -74,9 +74,11 @@ class MovieReviewApp(AppBundle):
                 ctx.write("reviews", review["review_id"], review)
                 return {"stored": review["review_id"]}
             if payload["op"] == "read_many":
+                # Serving stored reviews tolerates bounded staleness —
+                # the half-price follower read when replication is on.
                 found = []
                 for review_id in payload["ids"]:
-                    review = ctx.read("reviews", review_id)
+                    review = ctx.read_eventual("reviews", review_id)
                     if review is not None:
                         found.append(review)
                 return found
@@ -89,7 +91,7 @@ class MovieReviewApp(AppBundle):
                 ids = ids + [payload["review_id"]]
                 ctx.write("by_user", payload["user_id"], ids)
                 return {"count": len(ids)}
-            ids = ctx.read("by_user", payload["user_id"]) or []
+            ids = ctx.read_eventual("by_user", payload["user_id"]) or []
             return ids[-payload.get("limit", 10):]
 
         # -- movie_review: per-movie review index --------------------------
@@ -99,7 +101,7 @@ class MovieReviewApp(AppBundle):
                 ids = ids + [payload["review_id"]]
                 ctx.write("by_movie", payload["movie_id"], ids)
                 return {"count": len(ids)}
-            ids = ctx.read("by_movie", payload["movie_id"]) or []
+            ids = ctx.read_eventual("by_movie", payload["movie_id"]) or []
             recent = ids[-payload.get("limit", 5):]
             return ctx.sync_invoke("review_storage",
                                    {"op": "read_many", "ids": recent})
@@ -125,15 +127,15 @@ class MovieReviewApp(AppBundle):
                              "review_id": review_id})
             return {"ok": True, "review_id": review_id}
 
-        # -- movie page components -----------------------------------------
+        # -- movie page components (read-only: eventual-tolerant) ----------
         def movie_info(ctx, payload):
-            return ctx.read("info", payload["movie_id"])
+            return ctx.read_eventual("info", payload["movie_id"])
 
         def cast_info(ctx, payload):
-            return ctx.read("cast", payload["movie_id"])
+            return ctx.read_eventual("cast", payload["movie_id"])
 
         def plot(ctx, payload):
-            return ctx.read("plots", payload["movie_id"])
+            return ctx.read_eventual("plots", payload["movie_id"])
 
         # -- page: assemble a movie page ------------------------------------
         def page(ctx, payload):

@@ -108,9 +108,11 @@ class SocialMediaApp(AppBundle):
                 ctx.write("posts", post["post_id"], post)
                 return {"stored": post["post_id"]}
             if payload["op"] == "read_many":
+                # Timeline rendering tolerates bounded staleness — the
+                # half-price follower read when replication is on.
                 found = []
                 for post_id in payload["ids"]:
-                    post = ctx.read("posts", post_id)
+                    post = ctx.read_eventual("posts", post_id)
                     if post is not None:
                         found.append(post)
                 return found
@@ -123,7 +125,7 @@ class SocialMediaApp(AppBundle):
                 ids = (ids + [payload["post_id"]])[-50:]
                 ctx.write("timelines", key, ids)
                 return {"count": len(ids)}
-            ids = ctx.read("timelines", payload["timeline"]) or []
+            ids = ctx.read_eventual("timelines", payload["timeline"]) or []
             return ids[-payload.get("limit", timeline_limit):]
 
         def user_timeline(ctx, payload):

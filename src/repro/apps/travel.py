@@ -61,16 +61,16 @@ class TravelReservationApp(AppBundle):
     def register(self, runtime: Any) -> None:
         transactional = self.transactional
 
-        # -- geo: nearby hotels for a location cell ---------------------
+        # -- geo: nearby hotels for a location cell (read-only) ---------
         def geo(ctx, payload):
             cell = payload["cell"]
-            return ctx.read("cells", f"cell-{cell}") or []
+            return ctx.read_eventual("cells", f"cell-{cell}") or []
 
         # -- rate: room rates for a set of hotels -----------------------
         def rate(ctx, payload):
             rates = []
             for hotel_id in payload["hotels"]:
-                entry = ctx.read("rates", hotel_id)
+                entry = ctx.read_eventual("rates", hotel_id)
                 if entry is not None:
                     rates.append({"hotel": hotel_id, "rate": entry})
             return rates
@@ -79,7 +79,7 @@ class TravelReservationApp(AppBundle):
         def profile(ctx, payload):
             profiles = []
             for hotel_id in payload["hotels"]:
-                entry = ctx.read("profiles", hotel_id)
+                entry = ctx.read_eventual("profiles", hotel_id)
                 if entry is not None:
                     profiles.append(entry)
             return profiles
@@ -96,7 +96,7 @@ class TravelReservationApp(AppBundle):
         # -- recommend: by price/distance/rate --------------------------
         def recommend(ctx, payload):
             criterion = payload.get("by", "price")
-            board = ctx.read("boards", criterion) or []
+            board = ctx.read_eventual("boards", criterion) or []
             profiles = ctx.sync_invoke("profile", {"hotels": board[:5]})
             return {"recommended": profiles, "by": criterion}
 

@@ -19,7 +19,7 @@ request metering, same books as the §7.3 cost analysis.
 
 from __future__ import annotations
 
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, per_shard_rows, per_shard_table
 from repro.core import BeldiConfig, BeldiRuntime
 from repro.platform import PlatformConfig
 from repro.workload import run_closed_loop
@@ -77,6 +77,7 @@ def run_shard_point(n_shards: int, n_users: int = N_USERS,
         "dollars_per_op": ((store.metering.dollar_cost() - cost_before)
                            / max(1, result.completed)),
         "keys_per_shard": per_shard,
+        "per_shard": per_shard_rows(store, "profile.profiles"),
     }
     runtime.kernel.shutdown()
     return point
@@ -107,9 +108,23 @@ def scaling_table(points: list[dict]) -> str:
          "keys/shard"], rows)
 
 
+def shard_dashboards(points: list[dict]) -> str:
+    """Per-shard metering dashboards, one table per shard count > 1."""
+    blocks = []
+    for point in points:
+        if point["shards"] <= 1:
+            continue
+        blocks.append(per_shard_table(
+            f"Per-shard metering — {point['shards']} shards",
+            point["per_shard"]))
+    return "\n\n".join(blocks)
+
+
 def main() -> None:  # pragma: no cover - manual driver
     points = run_scaling()
     print(scaling_table(points))
+    print()
+    print(shard_dashboards(points))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 
 def format_table(title: str, columns: Sequence[str],
@@ -29,6 +29,55 @@ def format_series(title: str, series: dict) -> str:
         points = ", ".join(f"({x:g}, {y:.1f})" for x, y in series[label])
         lines.append(f"{label:24s} {points}")
     return "\n".join(lines)
+
+
+def per_shard_rows(store, table: Optional[str] = None) -> list[dict]:
+    """One row of placement + metering facts per shard node.
+
+    Works on anything with a ``nodes`` list whose members carry a
+    ``metering`` book (a plain :class:`~repro.kvstore.ShardedStore`
+    node, or a :class:`~repro.kvstore.ReplicaGroup`, whose book merges
+    leader and followers). ``table`` adds that table's per-shard item
+    count; without it the items column is omitted (``None``).
+    """
+    rows = []
+    for shard, node in enumerate(getattr(store, "nodes", [store])):
+        meter = node.metering
+        rows.append({
+            "shard": shard,
+            "items": node.item_count(table) if table else None,
+            "requests": sum(rec.count for rec in meter.ops.values()),
+            "read_units": sum(rec.read_units
+                              for rec in meter.ops.values()),
+            "write_units": sum(rec.write_units
+                               for rec in meter.ops.values()),
+            "eventual": sum(rec.eventual_count
+                            for rec in meter.ops.values()),
+            "dollars": meter.dollar_cost(),
+        })
+    return rows
+
+
+def per_shard_table(title: str, rows: Iterable[dict]) -> str:
+    """Render :func:`per_shard_rows` output as a metering dashboard."""
+    rows = list(rows)
+    with_items = any(row.get("items") is not None for row in rows)
+    columns = ["shard"] + (["items"] if with_items else []) + [
+        "requests", "read units", "write units", "eventual", "$"]
+    table_rows = []
+    for row in rows:
+        cells = [row["shard"]]
+        if with_items:
+            cells.append(row["items"])
+        cells.extend([
+            row["requests"],
+            round(row["read_units"], 1),
+            round(row["write_units"], 1),
+            row["eventual"],
+            f"{row['dollars']:.2e}",
+        ])
+        table_rows.append(cells)
+    return format_table(title, columns, table_rows)
 
 
 def _fmt(cell: Any) -> str:

@@ -82,6 +82,11 @@ class BaselineContext:
         row = self.env.store.get(self.env.data_table(table), key)
         return row.get("Value") if row else None
 
+    def read_eventual(self, table: str, key: Any) -> Any:
+        # The baseline has no replication and no log to replay from;
+        # a staleness-tolerant read is just a read.
+        return self.read(table, key)
+
     def write(self, table: str, key: Any, value: Any) -> None:
         self.env.store.update(self.env.data_table(table), (key,),
                               [Set("Value", value)])

@@ -43,6 +43,16 @@ class BeldiConfig:
         fetches, GC liveness point-checks) into single
         :meth:`~repro.kvstore.KVStore.batch_get` round trips. Off
         reproduces the seed's one-get-per-row behavior exactly.
+    read_consistency:
+        Default consistency for reads that *declare* they tolerate
+        bounded staleness — :meth:`BeldiContext.read_eventual` and the
+        GC's first-pass intent scan. ``"strong"`` (default) keeps every
+        read on the leader at full price, reproducing seed behavior
+        exactly; ``"eventual"`` routes those reads to a follower (when
+        the store is replicated) at DynamoDB's half-price eventual rate.
+        Correctness-critical reads — the DAAL protocol, transaction
+        commit, lock probes, liveness point-checks — ignore this knob
+        and stay strong, always.
     """
 
     row_log_capacity: int = 8
@@ -55,3 +65,4 @@ class BeldiConfig:
     gc_page_limit: int | None = None
     tail_cache: bool = True
     batch_reads: bool = True
+    read_consistency: str = "strong"

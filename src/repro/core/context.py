@@ -101,6 +101,36 @@ class BeldiContext:
             value = ops.read_op(self, self.env.data_table(table), key)
         return None if value == daal.MISSING else value
 
+    def read_eventual(self, table: str, key: Any) -> Any:
+        """Read-only lookup that tolerates bounded staleness.
+
+        Use on paths whose result is *served*, never acted on with
+        writes — timeline reads, movie pages, caches. When the runtime's
+        ``read_consistency`` is ``"eventual"`` (and the store is
+        replicated) the lookup routes to a follower replica at half a
+        read unit, possibly stale within the replication-lag bound; at
+        the default ``"strong"`` it is priced and routed exactly like
+        :meth:`read`. Either way the observed value is logged in the
+        read log, so replays after a crash return the same value —
+        determinism does not depend on the consistency mode. Inside a
+        transaction's Execute mode this falls back to the strong
+        transactional read: a locked read-set must not be stale.
+        """
+        if self.in_txn_execute():
+            return self.read(table, key)
+        from repro.kvstore.metering import normalize_consistency
+        consistency = normalize_consistency(
+            getattr(self.config, "read_consistency", "strong"))
+        if self.env.storage_mode == "crosstable":
+            from repro.core import crosstable
+            value = crosstable.flat_read_op(
+                self, self.env.data_table(table), key,
+                consistency=consistency)
+        else:
+            value = ops.read_only_op(self, self.env.data_table(table),
+                                     key, consistency=consistency)
+        return None if value == daal.MISSING else value
+
     def write(self, table: str, key: Any, value: Any) -> None:
         """Exactly-once write."""
         if self.in_txn_execute():

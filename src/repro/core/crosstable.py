@@ -30,12 +30,17 @@ from repro.kvstore import (
 from repro.kvstore.expressions import Condition
 
 
-def flat_read_op(ctx, table: str, key: Any) -> Any:
-    """Single-row read + read-log entry (no chain scan)."""
+def flat_read_op(ctx, table: str, key: Any,
+                 consistency=None) -> Any:
+    """Single-row read + read-log entry (no chain scan).
+
+    ``consistency`` only affects the data-row read (read-only paths may
+    pass ``"eventual"``); the read-log round trips stay strong.
+    """
     step = ctx.next_step()
     store = ctx.store
     ctx.crash_point(f"read:{step}:start")
-    row = store.get(table, key)
+    row = store.get(table, key, consistency=consistency)
     value = row.get("Value", daal.MISSING) if row else daal.MISSING
     ctx.crash_point(f"read:{step}:before-log")
     try:

@@ -95,7 +95,8 @@ def ensure_head(store: KVStore, table: str, key: Any,
 
 def load_skeleton(store: KVStore, table: str, key: Any,
                   probe_log_key: Optional[str] = None,
-                  cache: Optional[TailCache] = None) -> Skeleton:
+                  cache: Optional[TailCache] = None,
+                  consistency: Optional[str] = None) -> Skeleton:
     """One projected query -> local chain skeleton (§4.1 traversal).
 
     When ``probe_log_key`` is given, the projection additionally fetches
@@ -114,7 +115,8 @@ def load_skeleton(store: KVStore, table: str, key: Any,
         columns.append(path("LogSize"))
     if probe_log_key is not None:
         columns.append(path("RecentWrites", probe_log_key))
-    result = store.query(table, key, projection=Projection(columns))
+    result = store.query(table, key, projection=Projection(columns),
+                         consistency=consistency)
     next_of: dict[str, Optional[str]] = {}
     size_of: dict[str, Optional[int]] = {}
     hit_of: dict[str, Any] = {}
@@ -168,12 +170,14 @@ def load_skeleton_by_pointer(store: KVStore, table: str,
 
 
 def read_row(store: KVStore, table: str, key: Any,
-             row_id: str) -> Optional[dict]:
-    return store.get(table, (key, row_id))
+             row_id: str,
+             consistency: Optional[str] = None) -> Optional[dict]:
+    return store.get(table, (key, row_id), consistency=consistency)
 
 
 def fast_tail_row(store: KVStore, table: str, key: Any,
-                  cache: Optional[TailCache]) -> Optional[dict]:
+                  cache: Optional[TailCache],
+                  consistency: Optional[str] = None) -> Optional[dict]:
     """Resolve the item's current tail row through the cache (§4.4).
 
     One ``get`` on the cached row; if the row chained (or the GC
@@ -189,10 +193,12 @@ def fast_tail_row(store: KVStore, table: str, key: Any,
     entry = cache.tail_of(table, key)
     if entry is None:
         return None
-    row = read_row(store, table, key, entry.row_id)
+    row = read_row(store, table, key, entry.row_id,
+                   consistency=consistency)
     chased = 0
     while row is not None and "NextRow" in row and chased < _MAX_TAIL_CHASE:
-        row = read_row(store, table, key, row["NextRow"])
+        row = read_row(store, table, key, row["NextRow"],
+                       consistency=consistency)
         chased += 1
     if row is None or "NextRow" in row:
         cache.forget(table, key)
@@ -205,15 +211,28 @@ def fast_tail_row(store: KVStore, table: str, key: Any,
 
 
 def tail_value(store: KVStore, table: str, key: Any,
-               cache: Optional[TailCache] = None) -> Any:
-    """Current value of the item (``MISSING`` if the chain is absent)."""
-    row = fast_tail_row(store, table, key, cache)
+               cache: Optional[TailCache] = None,
+               consistency: Optional[str] = None) -> Any:
+    """Current value of the item (``MISSING`` if the chain is absent).
+
+    With ``consistency="eventual"`` every underlying read routes (and
+    meters) as eventually consistent; on a replicated store the observed
+    value may then be stale within the group's lag bound. The tail
+    cache still participates: its entries are positional *hints*
+    validated against whichever replica serves the read, so a
+    follower-observed tail cached here at worst costs a later strong
+    operation one repair traversal — the same fail-safe staleness the
+    cache already absorbs from GC disconnections.
+    """
+    row = fast_tail_row(store, table, key, cache, consistency=consistency)
     if row is not None:
         return row.get("Value", MISSING)
-    skeleton = load_skeleton(store, table, key, cache=cache)
+    skeleton = load_skeleton(store, table, key, cache=cache,
+                             consistency=consistency)
     if not skeleton.exists:
         return MISSING
-    row = read_row(store, table, key, skeleton.tail)
+    row = read_row(store, table, key, skeleton.tail,
+                   consistency=consistency)
     if row is None:
         return MISSING
     return row.get("Value", MISSING)

@@ -122,11 +122,23 @@ def make_garbage_collector(runtime, env: BeldiEnv):
                  "pruned_entries": 0, "disconnected": 0, "deleted_rows": 0,
                  "shadow_chains": 0, "locksets": 0}
 
-        # Phases 1-2: stamp finish times; find recyclable intents.
+        # Phases 1-2: stamp finish times; find recyclable intents. The
+        # first-pass scan is classification only, so it may run at the
+        # configured eventual consistency (half-price on a replicated
+        # store): staleness is bounded by the replication lag — far
+        # below T — and every conclusion it feeds is conservative or
+        # re-checked. A missed/stale intent is treated as live (waits
+        # for the next run); "Done without FinishTime" stamps through a
+        # guarded conditional write; recyclability requires a FinishTime
+        # more than T old, which lag cannot forge. Everything
+        # destructive below reads strong.
+        scan_consistency = ("eventual" if runtime.config.read_consistency
+                            == "eventual" else None)
         live: set = set()
         recyclable: list[str] = []
         page_limit = runtime.config.gc_page_limit
-        scan = store.scan(env.intent_table, limit=page_limit)
+        scan = store.scan(env.intent_table, limit=page_limit,
+                          consistency=scan_consistency)
         scanned_all = scan.last_evaluated_key is None
         for intent in scan.items:
             instance_id = intent["InstanceId"]

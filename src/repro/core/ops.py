@@ -59,6 +59,28 @@ def _log_write_updates(log_key: str, outcome: Any) -> list[UpdateAction]:
 # read (Fig. 5)
 # ---------------------------------------------------------------------------
 
+def _commit_read_log(ctx, step: int, value: Any) -> Any:
+    """Serialize one observed value into the read log.
+
+    The conditional put is the serialization point for every logged
+    read: the first execution records ``value``; a replay loses the
+    race and returns whatever the original execution recorded.
+    """
+    store = ctx.store
+    try:
+        store.put(ctx.env.read_log,
+                  {"InstanceId": ctx.instance_id, "Step": step,
+                   "Value": value},
+                  condition=AttrNotExists("InstanceId"))
+        return value
+    except ConditionFailed:
+        record = store.get(ctx.env.read_log, (ctx.instance_id, step))
+        if record is None:
+            raise BeldiError(
+                "read log entry vanished mid-operation") from None
+        return record["Value"]
+
+
 def read_op(ctx, table: str, key: Any, attribute: str = "Value") -> Any:
     """Read the item's current ``attribute`` with exactly-once logging.
 
@@ -88,19 +110,35 @@ def read_op(ctx, table: str, key: Any, attribute: str = "Value") -> Any:
             value = (row.get(attribute, daal.MISSING) if row
                      else daal.MISSING)
     ctx.crash_point(f"read:{step}:before-log")
-    try:
-        store.put(ctx.env.read_log,
-                  {"InstanceId": ctx.instance_id, "Step": step,
-                   "Value": value},
-                  condition=AttrNotExists("InstanceId"))
-        ctx.crash_point(f"read:{step}:after-log")
-        return value
-    except ConditionFailed:
-        record = store.get(ctx.env.read_log, (ctx.instance_id, step))
-        if record is None:
-            raise BeldiError(
-                "read log entry vanished mid-operation") from None
-        return record["Value"]
+    value = _commit_read_log(ctx, step, value)
+    ctx.crash_point(f"read:{step}:after-log")
+    return value
+
+
+def read_only_op(ctx, table: str, key: Any,
+                 consistency: Optional[str] = None) -> Any:
+    """Logged read *without* exactly-once registration (§2.2's knob).
+
+    For reads that are observations only — no lock probe, no write-log
+    entry to land — the full exactly-once read is overkill: the result
+    just needs to be deterministic under replay, which the read log
+    alone provides. The tail lookup can therefore run at the requested
+    ``consistency``: ``"eventual"`` routes to a follower at half a read
+    unit (DynamoDB's 1x eventual vs 2x strong pricing), possibly stale
+    within the replication-lag bound. The read-log record itself is a
+    leader write, as all writes are.
+
+    Replays return the logged value exactly like :func:`read_op`: the
+    conditional log put is the serialization point.
+    """
+    step = ctx.next_step()
+    ctx.crash_point(f"roread:{step}:start")
+    value = daal.tail_value(ctx.store, table, key, cache=ctx.tail_cache,
+                            consistency=consistency)
+    ctx.crash_point(f"roread:{step}:before-log")
+    value = _commit_read_log(ctx, step, value)
+    ctx.crash_point(f"roread:{step}:after-log")
+    return value
 
 
 def record_op(ctx, compute) -> Any:

@@ -18,6 +18,7 @@ Commit/Abort signals (§6.2).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
@@ -34,7 +35,14 @@ from repro.core.txn import (
     propagate_signal,
     resolve_local,
 )
-from repro.kvstore import KVStore, KernelTimeSource, ShardedStore
+from repro.kvstore import (
+    KVStore,
+    KernelTimeSource,
+    ReplicaGroup,
+    ReplicatedStore,
+    ShardedStore,
+)
+from repro.kvstore.faults import FaultPolicy
 from repro.platform import PlatformConfig, ServerlessPlatform
 from repro.platform.context import InvocationContext
 from repro.platform.errors import (
@@ -67,37 +75,98 @@ class BeldiRuntime:
                  store: Optional[KVStore] = None,
                  platform: Optional[ServerlessPlatform] = None,
                  shards: int = 1,
-                 shard_capacity: Optional[int] = None) -> None:
+                 shard_capacity: Optional[int] = None,
+                 replicas: int = 1,
+                 read_consistency: Optional[str] = None,
+                 replication_lag_scale: float = 1.0,
+                 store_faults: Optional[FaultPolicy] = None) -> None:
         """``shards > 1`` partitions storage across that many simulated
         store nodes behind a :class:`~repro.kvstore.ShardedStore` — each
         node with its own latency stream, fault domain, metering, and
         (with ``shard_capacity``) bounded service parallelism. The
         default is the seed's single store; an explicit ``store``
-        overrides both knobs."""
+        overrides the knobs.
+
+        ``replicas > 1`` wraps every shard in a
+        :class:`~repro.kvstore.ReplicaGroup` of one leader plus
+        ``replicas - 1`` followers behind a
+        :class:`~repro.kvstore.ReplicatedStore`: writes log-ship to
+        followers with bounded lag (``replication_lag_scale`` scales the
+        sampled ``repl.ship`` delay; ``0.0`` makes followers current),
+        and eventually consistent reads route to followers at DynamoDB's
+        half-price read rate. ``replicas=1`` (default) builds exactly
+        the unreplicated store — bit-for-bit the prior behavior.
+
+        ``read_consistency`` (``"strong"``/``"eventual"``) sets
+        :attr:`BeldiConfig.read_consistency`: whether the staleness-
+        tolerant read paths (:meth:`BeldiContext.read_eventual`, the
+        GC's first-pass scan) actually go eventual. Protocol reads stay
+        strong regardless.
+
+        ``store_faults`` installs one
+        :class:`~repro.kvstore.faults.FaultPolicy` on every store node
+        and replica group (throttling, latency spikes, and — with
+        ``leader_crash_probability`` — injected leader failovers).
+        """
         self.kernel = kernel or SimKernel(seed=seed)
         self.rand = RandomSource(seed, "beldi")
         self.config = config or BeldiConfig()
+        if read_consistency is not None:
+            if read_consistency not in ("strong", "eventual"):
+                raise ValueError(
+                    f"read_consistency must be 'strong' or 'eventual', "
+                    f"got {read_consistency!r}")
+            # Copy before overriding: the caller may share one config
+            # across runtimes, and the override is per-runtime.
+            self.config = dataclasses.replace(
+                self.config, read_consistency=read_consistency)
         latency = LatencyModel(self.rand.child("latency"),
                                scale=latency_scale)
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+
+        def build_node(i: int, suffix: str = "") -> KVStore:
+            return KVStore(
+                time_source=KernelTimeSource(self.kernel),
+                latency=LatencyModel(
+                    self.rand.child(f"latency-shard{i}{suffix}"),
+                    scale=latency_scale),
+                rand=self.rand.child(f"store-shard{i}{suffix}"),
+                shard_id=i, capacity=shard_capacity,
+                faults=store_faults)
+
         if store is not None:
             self.store = store
+        elif replicas > 1:
+            groups = []
+            for i in range(shards):
+                leader = build_node(i)
+                followers = [build_node(i, suffix=f"r{j}")
+                             for j in range(1, replicas)]
+                # The group's own latency model (repl.ship lag,
+                # repl.failover cost) runs at scale 1 regardless of the
+                # global latency_scale: replication lag is a property of
+                # the subsystem, toggled by replication_lag_scale alone,
+                # so zero-latency test runtimes still exhibit real
+                # staleness and failover windows.
+                groups.append(ReplicaGroup(
+                    leader, followers,
+                    rand=self.rand.child(f"repl-shard{i}"),
+                    latency=LatencyModel(
+                        self.rand.child(f"repl-latency-shard{i}")),
+                    faults=store_faults,
+                    lag_scale=replication_lag_scale))
+            self.store = ReplicatedStore(groups)
         elif shards > 1:
-            nodes = [
-                KVStore(time_source=KernelTimeSource(self.kernel),
-                        latency=LatencyModel(
-                            self.rand.child(f"latency-shard{i}"),
-                            scale=latency_scale),
-                        rand=self.rand.child(f"store-shard{i}"),
-                        shard_id=i, capacity=shard_capacity)
-                for i in range(shards)]
-            self.store = ShardedStore(nodes)
+            self.store = ShardedStore(
+                [build_node(i) for i in range(shards)])
         else:
             self.store = KVStore(
                 time_source=KernelTimeSource(self.kernel),
                 latency=latency, rand=self.rand.child("store"),
-                capacity=shard_capacity)
+                capacity=shard_capacity, faults=store_faults)
         self.platform = platform or ServerlessPlatform(
             self.kernel, rand=self.rand.child("platform"),
             latency=latency, config=platform_config)

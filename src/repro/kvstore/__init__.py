@@ -65,6 +65,12 @@ from repro.kvstore.expressions import (
 )
 from repro.kvstore.item import item_size
 from repro.kvstore.metering import Metering
+from repro.kvstore.replication import (
+    ReadConsistency,
+    ReplicaGroup,
+    ReplicatedStore,
+    ReplicationStats,
+)
 from repro.kvstore.sharding import HashRing, ShardedStore, ShardedTableView
 from repro.kvstore.store import (
     BatchGetResult,
@@ -86,7 +92,9 @@ __all__ = [
     "In", "ItemTooLarge", "KVStore", "KVStoreError", "KernelTimeSource",
     "KeySchema", "Le", "ListAppend", "Lt", "Metering", "Minus", "Ne", "Not",
     "NullTimeSource", "Or", "Path", "PathRef", "Plus", "QueryResult",
-    "Remove", "ScanResult", "Set", "ShardedStore", "ShardedTableView",
+    "ReadConsistency", "Remove", "ReplicaGroup", "ReplicatedStore",
+    "ReplicationStats",
+    "ScanResult", "Set", "ShardedStore", "ShardedTableView",
     "SizeEq", "SizeGe", "SizeGt", "SizeLe",
     "SizeLt", "Table", "TableExists", "TableNotFound", "ThrottledError",
     "TransactDelete", "TransactPut", "TransactUpdate", "TransactionCanceled",

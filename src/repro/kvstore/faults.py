@@ -34,6 +34,16 @@ class FaultPolicy:
         of a :class:`~repro.kvstore.sharding.ShardedStore` throttles or
         spikes while its siblings serve normally. A node with no shard id
         (an unsharded store) is unaffected by a shard-scoped policy.
+    leader_crash_probability:
+        Chance that a *leader-routed* operation (any write, and any
+        strongly consistent read) arriving at a
+        :class:`~repro.kvstore.replication.ReplicaGroup` finds its leader
+        crashed. The group then fails over — promoting the most
+        caught-up follower and replaying the unacked replication-log
+        suffix — before serving the operation on the new leader.
+        Meaningless (ignored) on an unreplicated node: the store
+        substrate itself stays durable, per §2.2. Scope with ``only_ops``
+        / ``only_shards`` like every other fault.
 
     A batched operation (``batch_get``) consults the policy **once per
     batch**, not once per row: one draw throttles or spikes the whole
@@ -48,6 +58,7 @@ class FaultPolicy:
     spike_multiplier: float = 10.0
     only_ops: Optional[frozenset] = None
     only_shards: Optional[frozenset] = None
+    leader_crash_probability: float = 0.0
 
     @classmethod
     def for_ops(cls, ops: Iterable[str], **kwargs) -> "FaultPolicy":
@@ -70,6 +81,13 @@ class FaultPolicy:
             return False
         return (self.throttle_probability > 0
                 and rand.random() < self.throttle_probability)
+
+    def should_crash_leader(self, rand: RandomSource, op: str = "",
+                            shard: Optional[int] = None) -> bool:
+        if not self.applies_to(op, shard):
+            return False
+        return (self.leader_crash_probability > 0
+                and rand.random() < self.leader_crash_probability)
 
     def latency_multiplier(self, rand: RandomSource, op: str = "",
                            shard: Optional[int] = None) -> float:

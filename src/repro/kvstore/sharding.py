@@ -24,8 +24,9 @@ Fan-out operations:
     ``(_SHARD_TOKEN, shard index, node key)`` tuple so paged scans (the
     GC's Appendix-A refinement) resume where they stopped.
 ``query_index``
-    Queries every node and concatenates in shard order (each node's
-    result is internally sorted; global order is deterministic).
+    Queries every node and merge-sorts by ``(index value, primary key)``
+    so the global order matches single-node semantics exactly,
+    independent of placement.
 ``batch_get``
     Splits the batch by owning shard, one round trip per involved node,
     and re-merges aligned with the request. A node's partial throttle
@@ -57,15 +58,22 @@ from repro.kvstore.errors import (
     TableNotFound,
     ThrottledError,
 )
-from repro.kvstore.expressions import Condition, Projection
-from repro.kvstore.metering import Metering, OpRecord
+from repro.kvstore.expressions import Condition, Projection, path
+from repro.kvstore.metering import Metering
 from repro.kvstore.store import (
     BatchGetResult,
     KVStore,
     TransactPut,
     TransactOp,
 )
-from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
+from repro.kvstore.table import (
+    KeySchema,
+    QueryResult,
+    ScanResult,
+    Table,
+    _sort_token,
+    _sort_token_tuple,
+)
 
 _SHARD_TOKEN = "__shard__"
 
@@ -133,12 +141,15 @@ class ShardedTableView:
         # the logical table.
         return self._node_tables()[0]._indexes
 
-    def _node_tables(self) -> list[Table]:
-        return [node._tables[self.name] for node in self._store.nodes]
+    def _node_tables(self) -> list:
+        # ``node.table(name)`` rather than raw ``_tables`` access: a
+        # replicated node answers with a view that also ships direct
+        # mutations to its followers.
+        return [node.table(self.name) for node in self._store.nodes]
 
-    def _owner(self, key: Any) -> Table:
+    def _owner(self, key: Any):
         node = self._store.node_for(self.name, key)
-        return node._tables[self.name]
+        return node.table(self.name)
 
     def add_index(self, name: str, attribute: str) -> None:
         for table in self._node_tables():
@@ -258,9 +269,11 @@ class ShardedStore:
 
     # -- point ops (route to the owner) ----------------------------------------
     def get(self, table: str, key: Any,
-            projection: Optional[Projection] = None) -> Optional[dict]:
+            projection: Optional[Projection] = None,
+            consistency: Optional[str] = None) -> Optional[dict]:
         return self.node_for(table, key).get(table, key,
-                                             projection=projection)
+                                             projection=projection,
+                                             consistency=consistency)
 
     def put(self, table: str, item: dict,
             condition: Optional[Condition] = None) -> None:
@@ -283,7 +296,8 @@ class ShardedStore:
 
     # -- fan-out reads ----------------------------------------------------------
     def batch_get(self, table: str, keys: Sequence[Any],
-                  projection: Optional[Projection] = None
+                  projection: Optional[Projection] = None,
+                  consistency: Optional[str] = None
                   ) -> BatchGetResult:
         """Per-shard fan-out of one logical batch, re-merged in order.
 
@@ -305,7 +319,7 @@ class ShardedStore:
             try:
                 got = self.nodes[shard].batch_get(
                     table, [keys[i] for i in indexes],
-                    projection=projection)
+                    projection=projection, consistency=consistency)
             except ThrottledError:
                 unprocessed.extend(indexes)
                 continue
@@ -326,7 +340,8 @@ class ShardedStore:
              filter_condition: Optional[Condition] = None,
              projection: Optional[Projection] = None,
              limit: Optional[int] = None,
-             exclusive_start: Optional[Any] = None) -> ScanResult:
+             exclusive_start: Optional[Any] = None,
+             consistency: Optional[str] = None) -> ScanResult:
         """Shard-ordered scan with cross-shard paging.
 
         ``last_evaluated_key`` from a truncated sharded scan is a tagged
@@ -358,7 +373,8 @@ class ShardedStore:
                 table, filter_condition=filter_condition,
                 projection=projection, limit=remaining,
                 exclusive_start=node_start if shard == start_shard
-                else None)
+                else None,
+                consistency=consistency)
             items.extend(result.items)
             scanned += result.scanned_count
             consumed += result.consumed_bytes
@@ -370,13 +386,46 @@ class ShardedStore:
         return ScanResult(items, None, scanned, consumed)
 
     def query_index(self, table: str, index_name: str, value: Any,
-                    projection: Optional[Projection] = None) -> list[dict]:
+                    projection: Optional[Projection] = None,
+                    consistency: Optional[str] = None) -> list[dict]:
+        """Index lookup fan-out, merge-sorted to single-node order.
+
+        One node sorts its matches by primary key (see
+        :meth:`Table.query_index`); concatenating per-shard results in
+        shard order would interleave that global order. The fan-out is
+        therefore re-sorted by ``(index value, primary key)`` so the
+        result is byte-identical to the same data on one node — callers
+        (the IC's pending sweep, the commit path's shadow resolution)
+        see deterministic, placement-independent ordering.
+
+        With a ``projection`` the sort keys may be projected away, so
+        the per-node fetch transparently widens the projection with the
+        key attributes (+ the indexed attribute) and strips them after
+        sorting; the widened rows are what each node meters.
+        """
         if table not in self._schemas:
             raise TableNotFound(f"no table named {table!r}")
+        schema = self._schemas[table]
+        index = self.nodes[0].table(table)._indexes.get(index_name)
+        index_attr = index.attribute if index is not None else None
+        fetch_projection = projection
+        if projection is not None:
+            extra = [path(schema.hash_key)]
+            if schema.range_key is not None:
+                extra.append(path(schema.range_key))
+            if index_attr is not None:
+                extra.append(path(index_attr))
+            fetch_projection = Projection(list(projection.paths) + extra)
         items: list[dict] = []
         for node in self.nodes:
             items.extend(node.query_index(table, index_name, value,
-                                          projection=projection))
+                                          projection=fetch_projection,
+                                          consistency=consistency))
+        items.sort(key=lambda item: (
+            _sort_token(item.get(index_attr) if index_attr else None),
+            _sort_token_tuple(schema.extract(item))))
+        if projection is not None:
+            items = [projection.apply(item) for item in items]
         return items
 
     # -- cross-shard transactions ------------------------------------------------
@@ -447,15 +496,7 @@ class ShardedStore:
         """
         merged = Metering()
         for node in self.nodes:
-            for op, rec in node.metering.ops.items():
-                out = merged.ops.setdefault(op, OpRecord())
-                out.count += rec.count
-                out.items += rec.items
-                out.bytes_read += rec.bytes_read
-                out.bytes_written += rec.bytes_written
-                out.read_units += rec.read_units
-                out.write_units += rec.write_units
-            merged.per_table.update(node.metering.per_table)
+            merged.merge_from(node.metering)
         return merged
 
     def storage_bytes(self, table: Optional[str] = None) -> int:

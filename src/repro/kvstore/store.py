@@ -212,16 +212,28 @@ class KVStore:
 
     # -- point ops ---------------------------------------------------------------
     def get(self, table: str, key: Any,
-            projection: Optional[Projection] = None) -> Optional[dict]:
+            projection: Optional[Projection] = None,
+            consistency: Optional[str] = None) -> Optional[dict]:
+        """Point read.
+
+        ``consistency`` is the DynamoDB knob: ``None``/``"strong"`` is a
+        strongly consistent read (full price); ``"eventual"`` meters at
+        half a read unit. On a plain :class:`KVStore` both serve the same
+        (single, current) state — a
+        :class:`~repro.kvstore.replication.ReplicaGroup` additionally
+        routes eventual reads to a possibly-lagging follower.
+        """
         tbl = self.table(table)
         self._pay("db.read")
         item = tbl.get(key, projection=projection)
         nbytes = item_size(item) if item else 0
-        self.metering.record_read("read", table, nbytes)
+        self.metering.record_read("read", table, nbytes,
+                                  consistency=consistency)
         return item
 
     def batch_get(self, table: str, keys: Sequence[Any],
-                  projection: Optional[Projection] = None
+                  projection: Optional[Projection] = None,
+                  consistency: Optional[str] = None
                   ) -> BatchGetResult:
         """Read many rows of one table in a single round trip.
 
@@ -255,7 +267,7 @@ class KVStore:
             total_bytes += item_size(item) if item else 0
         items.extend(None for _ in range(len(keys) - served))
         self.metering.record_read("batch_get", table, total_bytes,
-                                  items=served)
+                                  items=served, consistency=consistency)
         return BatchGetResult(items,
                               unprocessed_indexes=range(served, len(keys)),
                               keys=keys)
@@ -298,7 +310,8 @@ class KVStore:
               projection: Optional[Projection] = None,
               limit: Optional[int] = None,
               exclusive_start: Optional[Any] = None,
-              reverse: bool = False) -> QueryResult:
+              reverse: bool = False,
+              consistency: Optional[str] = None) -> QueryResult:
         tbl = self.table(table)
         result = tbl.query(hash_value, range_condition=range_condition,
                            filter_condition=filter_condition,
@@ -306,31 +319,36 @@ class KVStore:
                            exclusive_start=exclusive_start, reverse=reverse)
         self._pay("db.query", units=result.scanned_count)
         self.metering.record_read("query", table, result.consumed_bytes,
-                                  items=max(1, result.scanned_count))
+                                  items=max(1, result.scanned_count),
+                                  consistency=consistency)
         return result
 
     def scan(self, table: str,
              filter_condition: Optional[Condition] = None,
              projection: Optional[Projection] = None,
              limit: Optional[int] = None,
-             exclusive_start: Optional[Any] = None) -> ScanResult:
+             exclusive_start: Optional[Any] = None,
+             consistency: Optional[str] = None) -> ScanResult:
         tbl = self.table(table)
         result = tbl.scan(filter_condition=filter_condition,
                           projection=projection, limit=limit,
                           exclusive_start=exclusive_start)
         self._pay("db.scan", units=result.scanned_count)
         self.metering.record_read("scan", table, result.consumed_bytes,
-                                  items=max(1, result.scanned_count))
+                                  items=max(1, result.scanned_count),
+                                  consistency=consistency)
         return result
 
     def query_index(self, table: str, index_name: str, value: Any,
-                    projection: Optional[Projection] = None) -> list[dict]:
+                    projection: Optional[Projection] = None,
+                    consistency: Optional[str] = None) -> list[dict]:
         tbl = self.table(table)
         items = tbl.query_index(index_name, value, projection=projection)
         self._pay("db.query", units=len(items))
         nbytes = sum(item_size(it) for it in items)
         self.metering.record_read("query_index", table, nbytes,
-                                  items=max(1, len(items)))
+                                  items=max(1, len(items)),
+                                  consistency=consistency)
         return items
 
     # -- cross-table transactions ------------------------------------------------------

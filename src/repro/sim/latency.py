@@ -69,6 +69,13 @@ DEFAULT_SPECS: Dict[str, LatencySpec] = {
     # the cost of two sequential conditional writes per item plus
     # coordination (observed well above 2x a plain write in practice).
     "db.txn": LatencySpec(median=20.0, p99=70.0, per_unit=3.0),
+    # Replication log shipping: how long one committed write takes to
+    # land on an eventually consistent replica (the visible staleness of
+    # a follower read). DynamoDB documents eventual reads as "usually"
+    # current within a second; cross-AZ shipping sits in the tens of ms.
+    "repl.ship": LatencySpec(median=15.0, p99=120.0),
+    # Leader failover: detect + promote + replay the unacked log suffix.
+    "repl.failover": LatencySpec(median=150.0, p99=600.0, per_unit=0.02),
     "lambda.dispatch": LatencySpec(median=12.0, p99=35.0),
     "lambda.cold_start": LatencySpec(median=120.0, p99=400.0),
     "lambda.compute": LatencySpec(median=5.0, p99=14.0),

@@ -29,6 +29,7 @@ from repro.apps.travel import TravelReservationApp
 from repro.core import BeldiConfig, BeldiRuntime
 from repro.core import daal, intents
 from repro.core.gc import make_garbage_collector
+from repro.kvstore.faults import FaultPolicy
 from repro.platform import CrashOnce, RecordingPolicy
 from repro.platform.errors import FunctionCrashed, TooManyRequests
 
@@ -37,15 +38,24 @@ GC_T = 400.0
 RECOVERY_SLICE = 500.0
 RECOVERY_HORIZON = 40_000.0
 
-# ``shards`` is a runtime knob, not a BeldiConfig flag: it partitions
-# the simulated store across that many nodes behind a ShardedStore. The
-# sharded sweep proves the commit protocol's shadow writes stay atomic
-# when they span shard boundaries.
+# ``shards``/``replicas``/``leader_crash``/``latency_scale`` are runtime
+# knobs, not BeldiConfig flags. The sharded sweep proves the commit
+# protocol's shadow writes stay atomic when they span shard boundaries;
+# the replicated sweep additionally crashes shard *leaders* out from
+# under the workflow (``leader_crash_probability`` on every leader-routed
+# store op). Store latency stays at scale 0 (deterministic recording),
+# but the replica groups' own latency model always runs at scale 1, so
+# replication lag — and the failover's unacked-suffix replay — is
+# nonzero anyway. ``read_consistency`` rides along to exercise the GC's
+# eventual first-pass scan under crash + failover recovery.
 FLAG_SETTINGS = {
     "fastpath-on": dict(tail_cache=True, batch_reads=True),
     "fastpath-off": dict(tail_cache=False, batch_reads=False),
     "fastpath-on-shards2": dict(tail_cache=True, batch_reads=True,
                                 shards=2),
+    "fastpath-on-repl3": dict(tail_cache=True, batch_reads=True,
+                              shards=2, replicas=3, leader_crash=0.02,
+                              read_consistency="eventual"),
 }
 UNSHARDED_SETTINGS = [name for name, flags in FLAG_SETTINGS.items()
                       if "shards" not in flags]
@@ -54,10 +64,19 @@ UNSHARDED_SETTINGS = [name for name, flags in FLAG_SETTINGS.items()
 def _runtime(flags: dict) -> BeldiRuntime:
     flags = dict(flags)
     shards = flags.pop("shards", 1)
+    replicas = flags.pop("replicas", 1)
+    leader_crash = flags.pop("leader_crash", 0.0)
+    latency_scale = flags.pop("latency_scale", 0.0)
+    read_consistency = flags.pop("read_consistency", None)
     config = BeldiConfig(ic_restart_delay=200.0, gc_t=GC_T,
                          lock_retry_backoff=5.0, lock_retry_limit=500,
                          **flags)
-    return BeldiRuntime(seed=SEED, config=config, shards=shards)
+    store_faults = (FaultPolicy(leader_crash_probability=leader_crash)
+                    if leader_crash else None)
+    return BeldiRuntime(seed=SEED, config=config, shards=shards,
+                        replicas=replicas, latency_scale=latency_scale,
+                        read_consistency=read_consistency,
+                        store_faults=store_faults)
 
 
 # ---------------------------------------------------------------------------
@@ -242,6 +261,7 @@ def sweep(scenario_name: str, flags_name: str) -> None:
     points, baseline_result = record_crash_space(scenario, flags)
     assert baseline_result.get("ok"), "crash-free run must succeed"
     failures = []
+    total_failovers = 0
     for function, index, tag in points:
         runtime, app = scenario.build(flags)
         runtime.platform.crash_policy = CrashOnce(
@@ -256,12 +276,21 @@ def sweep(scenario_name: str, flags_name: str) -> None:
         except AssertionError as exc:  # collect, report all at once
             failures.append((function, index, tag, str(exc)))
         finally:
+            if hasattr(runtime.store, "replication_stats"):
+                total_failovers += (
+                    runtime.store.replication_stats.failovers)
             runtime.kernel.shutdown()
     assert not failures, (
         f"{len(failures)}/{len(points)} crash points violated "
         f"exactly-once/cleanliness:\n" + "\n".join(
             f"  {f}#{i} @ {t}: {msg.splitlines()[0]}"
             for f, i, t, msg in failures[:10]))
+    if flags.get("replicas", 1) > 1 and flags.get("leader_crash"):
+        # The replicated sweep is only meaningful if leaders actually
+        # crashed mid-workflow — across the whole sweep, many must.
+        assert total_failovers > len(points), (
+            f"only {total_failovers} leader failovers across "
+            f"{len(points)} swept runs")
 
 
 @pytest.mark.parametrize("flags_name", sorted(FLAG_SETTINGS))

@@ -1,6 +1,8 @@
 """``ShardedStore``: routing, fan-out, faults, cross-shard transactions."""
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.kvstore import (
     AttrNotExists,
@@ -76,6 +78,81 @@ class TestRouting:
             store.get("ghost", "a")
         with pytest.raises(TableNotFound):
             store.scan("ghost")
+
+
+FAST = dict(deadline=None, max_examples=25,
+            suppress_health_check=[HealthCheck.too_slow])
+
+_TOKENS = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0, max_size=40)
+
+
+class TestHashRingProperties:
+    """Property tests for the consistent-hash ring itself."""
+
+    @given(token=_TOKENS,
+           n_shards=st.integers(min_value=1, max_value=12),
+           replicas=st.integers(min_value=1, max_value=128))
+    @settings(**FAST)
+    def test_routing_is_stable_across_instances(self, token, n_shards,
+                                                replicas):
+        """Same (shards, vnodes) parameters => same owner for any token,
+        in any process, from any fresh ring instance."""
+        first = HashRing(n_shards, replicas=replicas)
+        second = HashRing(n_shards, replicas=replicas)
+        owner = first.shard_of(token)
+        assert 0 <= owner < n_shards
+        assert second.shard_of(token) == owner
+
+    @given(n_shards=st.integers(min_value=2, max_value=8),
+           replicas=st.sampled_from([16, 64, 128]),
+           salt=st.integers(min_value=0, max_value=1_000))
+    @settings(**FAST)
+    def test_key_spread_stays_balanced(self, n_shards, replicas, salt):
+        """With enough keys, no shard is starved and the max/min shard
+        load ratio stays bounded — the vnode smoothing guarantee."""
+        ring = HashRing(n_shards, replicas=replicas)
+        keys_per_shard = n_shards * 200
+        loads = [0] * n_shards
+        for i in range(keys_per_shard):
+            loads[ring.shard_of(f"data|key-{salt}-{i:05d}")] += 1
+        assert min(loads) > 0, "a shard received no keys at all"
+        ratio = max(loads) / min(loads)
+        # 16 vnodes is lumpy, 64+ smooth; both must stay in-band.
+        bound = 4.0 if replicas < 64 else 3.0
+        assert ratio <= bound, (
+            f"shard imbalance {ratio:.2f} > {bound} at "
+            f"{n_shards} shards / {replicas} vnodes: {loads}")
+
+    @given(n_shards=st.integers(min_value=1, max_value=8),
+           replicas=st.sampled_from([32, 64]))
+    @settings(**FAST)
+    def test_adding_a_shard_only_moves_keys_to_it(self, n_shards,
+                                                  replicas):
+        """Consistent hashing's defining property: growing the ring
+        from N to N+1 shards never reshuffles a key between two
+        surviving shards — every moved key lands on the new one."""
+        before = HashRing(n_shards, replicas=replicas)
+        after = HashRing(n_shards + 1, replicas=replicas)
+        moved = 0
+        total = 500
+        for i in range(total):
+            token = f"data|key-{i:05d}"
+            old_owner = before.shard_of(token)
+            new_owner = after.shard_of(token)
+            if new_owner != old_owner:
+                moved += 1
+                assert new_owner == n_shards, (
+                    f"key {token} moved {old_owner}->{new_owner}, "
+                    f"not to the new shard {n_shards}")
+        # And the moved fraction is in the ~1/(N+1) ballpark, not a
+        # wholesale reshuffle.
+        assert moved <= total * 2.5 / (n_shards + 1)
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
 
 
 class TestTableViews:

@@ -1,0 +1,79 @@
+"""Async storage I/O ablation gate: overlap + batched log writes.
+
+Runs the travel-style booking transaction (``bench/fig_async_io.py``)
+under the four ``async_io`` x ``batch_log_writes`` settings and gates
+the tentpole claims:
+
+- both flags on cut request p50 by **>= 20%** versus both off (the
+  acceptance bar; overlapped commit fan-out is most of it);
+- ``$/op`` stays flat: neither flag may change billed request units —
+  they collapse round trips and virtual time only;
+- the batched claim path actually batches (``batch_write`` round trips
+  appear, total round trips drop) without losing a single
+  exactly-once effect;
+- a replicated deployment (shards=2, replicas=3, eventual reads) runs
+  the same workload with both flags on, correctly.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.fig_async_io import (
+    N_KEYS,
+    REQUESTS,
+    ablation_table,
+    run_ablation,
+    run_point,
+)
+
+
+def test_async_io_ablation(benchmark):
+    def run_all():
+        points = run_ablation()
+        replicated = run_point("on-on-r3", async_io=True,
+                               batch_log_writes=True, replicas=3,
+                               read_consistency="eventual")
+        return points, replicated
+
+    points, replicated = benchmark.pedantic(run_all, rounds=1,
+                                            iterations=1)
+    by_config = {point["config"]: point for point in points}
+    text = ablation_table(points + [replicated])
+    emit("async_io_ablation", text)
+
+    baseline = by_config["off-off"]
+    both = by_config["on-on"]
+    for point in points + [replicated]:
+        # No failures, and exactly-once effects everywhere: every
+        # committed booking incremented every key exactly once.
+        assert point["failures"] == 0
+        assert point["completed"] == REQUESTS
+        assert point["effects"] == [REQUESTS] * N_KEYS, point["config"]
+
+    # The acceptance bar: both flags on cut p50 by at least 20%.
+    reduction = 1.0 - both["p50_ms"] / baseline["p50_ms"]
+    assert reduction >= 0.20, (
+        f"p50 {baseline['p50_ms']:.1f} -> {both['p50_ms']:.1f} ms, "
+        f"only {reduction:.0%} reduction")
+    # Each flag alone already helps (or at worst is neutral).
+    assert by_config["async-only"]["p50_ms"] < baseline["p50_ms"]
+    assert by_config["batch-only"]["p50_ms"] <= baseline["p50_ms"]
+
+    # $/op flat or better: the flags move time and round trips, never
+    # billed units (batched writes bill identically to sequential ones).
+    for point in points:
+        assert point["dollars_per_op"] <= baseline["dollars_per_op"] * (
+            1.0 + 1e-9), point["config"]
+
+    # The batch path really batches: batch_write round trips appear and
+    # the total round-trip count drops versus the sequential claims.
+    assert by_config["batch-only"]["batch_writes"] > 0
+    assert both["batch_writes"] > 0
+    assert (by_config["batch-only"]["round_trips"]
+            < baseline["round_trips"])
+    # Overlap alone must not change what happens — only when: identical
+    # round-trip mix, no batch writes.
+    assert by_config["async-only"]["round_trips"] == baseline[
+        "round_trips"]
+    assert by_config["async-only"]["batch_writes"] == 0

@@ -67,12 +67,14 @@ def _build_runtime(mode: str, seed: int):
         runtime = BaselineRuntime(seed=seed, latency_scale=1.0)
     else:
         # Figures 13/25 reproduce the paper's measurements of the
-        # un-optimized protocol; the §4.4 fast path is benchmarked
-        # separately in benchmarks/test_fastpath_ablation.py.
+        # un-optimized protocol; the §4.4 fast path and the async/batched
+        # I/O layer are benchmarked separately
+        # (benchmarks/test_fastpath_ablation.py, test_async_io.py).
         runtime = BeldiRuntime(
             seed=seed, latency_scale=1.0,
             config=BeldiConfig(gc_t=1e12, tail_cache=False,
-                               batch_reads=False))
+                               batch_reads=False, async_io=False,
+                               batch_log_writes=False))
     return runtime
 
 
@@ -144,7 +146,9 @@ def traversal_ablation(chain_lengths=(2, 10, 25, 50),
         runtime = BeldiRuntime(seed=seed, latency_scale=1.0,
                                config=BeldiConfig(gc_t=1e12,
                                                   tail_cache=False,
-                                                  batch_reads=False))
+                                                  batch_reads=False,
+                                                  async_io=False,
+                                                  batch_log_writes=False))
         env = runtime.create_env("bench", tables=["kv"])
         table = env.data_table("kv")
         _pre_grow_chain(runtime.store, table, KEY, rows,

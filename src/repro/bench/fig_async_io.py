@@ -1,0 +1,134 @@
+"""Async-I/O ablation driver: overlapped round trips + batched log writes.
+
+A travel-style transactional workload (the fig15 reserve path's shape,
+concentrated): each request opens one transaction over ``N_KEYS`` items
+spread across ``SHARDS`` shards (read + write per key — the reserve
+txn's inventory decrements), commits, then fans out
+``N_LEAVES`` parallel leaf invocations (the notify/hydrate edges of the
+travel workflow). The commit's shadow flushes and lock releases, the
+cross-shard fan-outs, and the parallel-invoke log claims are exactly the
+hot paths the ``async_io``/``batch_log_writes`` flags target, so the
+four flag settings separate cleanly:
+
+``async_io``
+    overlaps the commit fan-out (flushes/releases pay ``max`` instead of
+    the sum) — the big p50 win;
+``batch_log_writes``
+    coalesces the N parallel-invoke claims into one ``BatchWriteItem``
+    round trip — fewer requests at identical write units.
+
+Run at nonzero virtual latency; with both flags off the numbers are
+bit-for-bit the sequential PR 3 model (pinned separately by
+``tests/core/test_async_io_flags.py``). ``$/op`` must stay flat: both
+optimizations change round-trip counts and timing, never billed units.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.core import BeldiConfig, BeldiRuntime
+from repro.workload import run_closed_loop
+
+SHARDS = 2
+N_KEYS = 8
+N_LEAVES = 3
+REQUESTS = 12
+
+CONFIGS = {
+    "off-off": dict(async_io=False, batch_log_writes=False),
+    "async-only": dict(async_io=True, batch_log_writes=False),
+    "batch-only": dict(async_io=False, batch_log_writes=True),
+    "on-on": dict(async_io=True, batch_log_writes=True),
+}
+
+
+def _keys() -> list[str]:
+    return [f"item-{i:04d}" for i in range(N_KEYS)]
+
+
+def build_runtime(async_io: bool, batch_log_writes: bool,
+                  shards: int = SHARDS, replicas: int = 1,
+                  read_consistency: str = "strong",
+                  seed: int = 29) -> BeldiRuntime:
+    runtime = BeldiRuntime(
+        seed=seed, latency_scale=1.0,
+        config=BeldiConfig(gc_t=1e12, async_io=async_io,
+                           batch_log_writes=batch_log_writes),
+        shards=shards, replicas=replicas,
+        read_consistency=read_consistency)
+
+    def book(ctx, payload):
+        with ctx.transaction() as tx:
+            for key in payload["keys"]:
+                current = ctx.read("inv", key) or 0
+                ctx.write("inv", key, current + 1)
+        ctx.parallel_invoke([("notify", {"slot": i})
+                             for i in range(N_LEAVES)])
+        return {"ok": tx.committed}
+
+    ssf = runtime.register_ssf("book", book, tables=["inv"])
+    runtime.register_ssf("notify", lambda ctx, payload: "ok")
+    for key in _keys():
+        ssf.env.seed("inv", key, 0)
+    return runtime
+
+
+def run_point(name: str, async_io: bool, batch_log_writes: bool,
+              **kwargs) -> dict:
+    runtime = build_runtime(async_io, batch_log_writes, **kwargs)
+    dollars_before = runtime.store.metering.dollar_cost()
+    result = run_closed_loop(
+        runtime, "book",
+        [[{"keys": _keys()} for _ in range(REQUESTS)]])
+    meter = runtime.store.metering
+    counts = {op: rec.count for op, rec in meter.ops.items()}
+    # Exactly-once effects: every committed request incremented every key
+    # exactly once — the ablation must not trade correctness for speed.
+    env = runtime.envs["book"]
+    effects = [env.peek("inv", key) for key in _keys()]
+    point = {
+        "config": name,
+        "completed": result.completed,
+        "failures": result.failures,
+        "p50_ms": result.recorder.p50,
+        "p99_ms": result.recorder.p99,
+        "dollars_per_op": ((meter.dollar_cost() - dollars_before)
+                           / max(1, result.completed)),
+        "round_trips": sum(counts.values()),
+        "batch_writes": counts.get("batch_write", 0),
+        "effects": effects,
+    }
+    runtime.kernel.shutdown()
+    return point
+
+
+def run_ablation(**kwargs) -> list[dict]:
+    return [run_point(name, **dict(spec, **kwargs))
+            for name, spec in CONFIGS.items()]
+
+
+def ablation_table(points: list[dict]) -> str:
+    rows = []
+    for point in points:
+        rows.append([
+            point["config"],
+            point["completed"],
+            round(point["p50_ms"], 1),
+            round(point["p99_ms"], 1),
+            f"{point['dollars_per_op']:.2e}",
+            point["round_trips"],
+            point["batch_writes"],
+        ])
+    return format_table(
+        f"Async I/O ablation — {REQUESTS} booking txns x {N_KEYS} keys "
+        f"+ {N_LEAVES} parallel leaves, shards={SHARDS}",
+        ["flags", "done", "p50 ms", "p99 ms", "$/op", "round trips",
+         "batch writes"], rows)
+
+
+def main() -> None:  # pragma: no cover - manual driver
+    print(ablation_table(run_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

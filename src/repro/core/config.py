@@ -53,6 +53,32 @@ class BeldiConfig:
         Correctness-critical reads — the DAAL protocol, transaction
         commit, lock probes, liveness point-checks — ignore this knob
         and stay strong, always.
+    async_io:
+        Overlap independent store round trips instead of serializing
+        their virtual latency: the transaction commit's shadow flushes
+        and lock releases fan out concurrently (pay ``max`` instead of
+        the sum), sharded ``batch_get``/``batch_write`` fan-outs and the
+        cross-shard transaction's per-shard rounds overlap, and replica
+        groups ship multi-row commits as one batched boat per follower.
+        Purely a *when*, never a *what*: table contents, operation
+        counts, and request units are untouched, so every exactly-once
+        argument survives verbatim (pinned by the crash sweep's
+        ``fastpath-on-async`` variant). Off reproduces the sequential
+        latency model bit-for-bit.
+    batch_log_writes:
+        Coalesce idempotent log writes into
+        :meth:`~repro.kvstore.KVStore.batch_write` round trips — the
+        write-side twin of ``batch_reads``: the parallel-invoke prepare
+        phase claims its N invoke-log entries in one batch (callee ids
+        derive deterministically from ``(instance id, step)`` so
+        unconditional batched claims commute; see
+        ``repro/core/invoke.py``), and the GC's log-entry, row, and
+        lock-set deletions batch DynamoDB-style (25-item requests,
+        ``UnprocessedItems`` retries). Conditional log writes — the read
+        log's serialization point, single invoke claims — are **never**
+        batched: ``BatchWriteItem`` has no conditions, and those
+        conditions are what replay determinism rests on. Off reproduces
+        the one-write-per-row behavior exactly.
     """
 
     row_log_capacity: int = 8
@@ -66,3 +92,5 @@ class BeldiConfig:
     tail_cache: bool = True
     batch_reads: bool = True
     read_consistency: str = "strong"
+    async_io: bool = True
+    batch_log_writes: bool = True

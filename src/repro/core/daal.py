@@ -29,6 +29,28 @@ reachable from ``HEAD`` up to the first missing ``NextRow`` is a consistent
 snapshot under a linearizable store (§4.1). Orphan rows — left over from
 appends that lost the CAS race or crashed mid-append — show up in the query
 result but are ignored by the walk.
+
+Invariants this layer must uphold (see ``docs/architecture.md``) —
+everything above (ops, txn, GC) assumes them, and every optimization
+below (tail cache, batched reads, overlapped I/O) must preserve them:
+
+- **The tail carries the truth.** Rows are immutable once full
+  (``LogSize == N`` and ``NextRow`` set), so the reachable chain's last
+  row always holds the current ``Value`` and the live ``LockOwner``.
+- **One conditional write is the only commit point.** Every logged
+  mutation lands value + log entry + version bump in a single row-scoped
+  conditional update; there is no state in which the effect happened but
+  its log entry did not (or vice versa). This is the exactly-once
+  anchor — caches and batching may change *how a row is found*, never
+  this atomicity scope.
+- **Appends are version-validated.** ``append_row``'s CAS only links a
+  candidate copied from the predecessor's current version, so a racing
+  mutation can never be resurrected into the new tail.
+- **Stale hints fail safe.** A cached tail or position is only ever a
+  starting point; every use re-validates against the store (the case-B
+  condition, the chained-row chase) and falls back to the full skeleton
+  probe, so eviction, GC disconnection, and follower staleness cost a
+  repair traversal, never correctness.
 """
 
 from __future__ import annotations

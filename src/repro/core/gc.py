@@ -43,6 +43,7 @@ from repro.kvstore import (
     Remove,
     Set,
     batch_get_all,
+    batch_write_all,
 )
 from repro.kvstore.expressions import Projection, path
 from repro.platform.context import InvocationContext
@@ -118,6 +119,11 @@ def make_garbage_collector(runtime, env: BeldiEnv):
         cache = (runtime.tail_cache
                  if runtime.config.tail_cache else None)
         batch = runtime.config.batch_reads
+        # Batched deletions (batch_log_writes): every GC deletion is
+        # unconditional and idempotent, so DynamoDB-style BatchWriteItem
+        # coalescing (25-item requests, unprocessed-item retries) is
+        # always sound here — only the round-trip count changes.
+        batch_writes = getattr(runtime.config, "batch_log_writes", False)
         stats = {"stamped": 0, "recycled_intents": 0, "log_entries": 0,
                  "pruned_entries": 0, "disconnected": 0, "deleted_rows": 0,
                  "shadow_chains": 0, "locksets": 0}
@@ -168,9 +174,10 @@ def make_garbage_collector(runtime, env: BeldiEnv):
             for log_table in log_tables:
                 entries = store.query(log_table, instance_id,
                                       projection=Projection.of("Step"))
-                for entry in entries.items:
-                    store.delete(log_table, (instance_id, entry["Step"]))
-                    stats["log_entries"] += 1
+                dead_keys = [(instance_id, entry["Step"])
+                             for entry in entries.items]
+                _delete_keys(store, log_table, dead_keys, batch_writes)
+                stats["log_entries"] += len(dead_keys)
 
         # Phases 4-5: DAAL maintenance for data tables and shadows
         # (cross-table mode has flat tables; nothing to disconnect).
@@ -180,18 +187,30 @@ def make_garbage_collector(runtime, env: BeldiEnv):
                 for key in daal.all_keys(store, table):
                     _collect_chain(store, table, key, liveness, now,
                                    t_bound, stats, cache=cache,
-                                   batch=batch)
+                                   batch=batch,
+                                   batch_writes=batch_writes)
                 shadow = env.shadow_table(short)
                 _collect_shadows(store, shadow, liveness, now, t_bound,
-                                 stats, cache=cache, batch=batch)
+                                 stats, cache=cache, batch=batch,
+                                 batch_writes=batch_writes)
 
-        # Lock sets die with their owning instance.
+        # Lock sets die with their owning instance. (Flags off keeps the
+        # seed's check-then-delete interleaving so op order — and
+        # therefore every latency/fault draw — is untouched.)
         lockset_scan = store.scan(env.lockset_table)
-        for ref in lockset_scan.items:
-            if not liveness.is_live(ref.get("OwnerInstance", "")):
-                store.delete(env.lockset_table,
-                             (ref["TxnId"], ref["LockRef"]))
-                stats["locksets"] += 1
+        if batch_writes:
+            dead_refs = [
+                (ref["TxnId"], ref["LockRef"])
+                for ref in lockset_scan.items
+                if not liveness.is_live(ref.get("OwnerInstance", ""))]
+            _delete_keys(store, env.lockset_table, dead_refs, batch_writes)
+            stats["locksets"] += len(dead_refs)
+        else:
+            for ref in lockset_scan.items:
+                if not liveness.is_live(ref.get("OwnerInstance", "")):
+                    store.delete(env.lockset_table,
+                                 (ref["TxnId"], ref["LockRef"]))
+                    stats["locksets"] += 1
 
         # Phase 6: finally retire the intent records.
         for instance_id in recyclable:
@@ -207,9 +226,22 @@ def _entry_instances(row: dict) -> set:
             for log_key in (row.get("RecentWrites") or {})}
 
 
+def _delete_keys(store, table: str, keys, batch_writes: bool) -> None:
+    """Unconditionally delete ``keys``; coalesced when batching is on."""
+    keys = list(keys)
+    if not keys:
+        return
+    if batch_writes:
+        batch_write_all(store, table, deletes=keys)
+    else:
+        for key in keys:
+            store.delete(table, key)
+
+
 def _collect_chain(store, table: str, key: Any, liveness: _Liveness,
                    now: float, t_bound: float, stats: dict,
-                   cache=None, batch: bool = False) -> None:
+                   cache=None, batch: bool = False,
+                   batch_writes: bool = False) -> None:
     """Phases 4-5 for one item's chain."""
     result = store.query(table, key)
     rows = {row["RowId"]: row for row in result.items}
@@ -265,13 +297,24 @@ def _collect_chain(store, table: str, key: Any, liveness: _Liveness,
         prev = row
 
     # Orphans and disconnected rows: stamp first sighting, delete after T.
+    expired = []
     for row_id, row in rows.items():
         if row_id in seen:
             continue
         if "DangleTime" not in row:
             _stamp_dangle(store, table, key, row, now)
         elif now - row["DangleTime"] > t_bound:
-            store.delete(table, (key, row_id))
+            if batch_writes:
+                expired.append(row_id)
+            else:
+                store.delete(table, (key, row_id))
+                if cache is not None:
+                    cache.drop_row(table, key, row_id)
+                stats["deleted_rows"] += 1
+    if expired:
+        _delete_keys(store, table, [(key, row_id) for row_id in expired],
+                     batch_writes)
+        for row_id in expired:
             if cache is not None:
                 cache.drop_row(table, key, row_id)
             stats["deleted_rows"] += 1
@@ -289,7 +332,8 @@ def _stamp_dangle(store, table: str, key: Any, row: dict,
 
 def _collect_shadows(store, shadow_table: str, liveness: _Liveness,
                      now: float, t_bound: float, stats: dict,
-                     cache=None, batch: bool = False) -> None:
+                     cache=None, batch: bool = False,
+                     batch_writes: bool = False) -> None:
     """Collect whole shadow chains once every writer (and the owning
     instance) is gone; head and tail are deleted too (§6.2)."""
     for key in daal.all_keys(store, shadow_table):
@@ -316,8 +360,13 @@ def _collect_shadows(store, shadow_table: str, liveness: _Liveness,
             continue
         if head is not None and now - head["DangleTime"] <= t_bound:
             continue
+        if batch_writes:
+            _delete_keys(store, shadow_table,
+                         [(key, row["RowId"]) for row in rows],
+                         batch_writes)
         for row in rows:
-            store.delete(shadow_table, (key, row["RowId"]))
+            if not batch_writes:
+                store.delete(shadow_table, (key, row["RowId"]))
             if cache is not None:
                 cache.drop_row(shadow_table, key, row["RowId"])
             stats["deleted_rows"] += 1

@@ -22,10 +22,17 @@ intent and runs it.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any
 
 from repro.core.errors import InvokeFailed, NotSupported, TxnAborted
-from repro.kvstore import AttrNotExists, ConditionFailed, Eq, Set
+from repro.kvstore import (
+    AttrNotExists,
+    ConditionFailed,
+    Eq,
+    Set,
+    batch_write_all,
+)
 from repro.platform.errors import (
     FunctionCrashed,
     FunctionTimeout,
@@ -142,17 +149,94 @@ def sync_invoke_op(ctx, callee: str, payload_input: Any) -> Any:
                                                payload_input))
 
 
+def _derived_callee_id(instance_id: str, step: int) -> str:
+    """A callee instance id that is a pure function of the caller step.
+
+    The batched claim path (below) needs every executor of one logical
+    instance to write byte-identical invoke-log entries, so the callee
+    id cannot be a fresh draw pinned by a conditional put — it derives
+    from ``(instance id, step)`` instead, both stable under replay.
+    Uniqueness follows from instance-id uniqueness.
+    """
+    digest = hashlib.md5(
+        f"{instance_id}|{step}|callee".encode("utf-8")).hexdigest()
+    return f"c-{digest}"
+
+
+def prepare_parallel_invokes(ctx, calls: list) -> list:
+    """Phase 1 for a parallel fan-out, coalesced (``batch_log_writes``).
+
+    The seed path claims N invoke-log entries with N conditional puts —
+    N sequential round trips whose only job is to pin each step's callee
+    id against a racing re-execution. The batched path makes the entries
+    *deterministic* instead (see :func:`_derived_callee_id`) and claims
+    them all with one unconditional ``batch_write``: concurrent
+    executors write identical rows, so overwrites commute and no
+    condition is needed — which is exactly what DynamoDB's
+    ``BatchWriteItem`` (no conditions) permits.
+
+    The one observable race: a replayed claim can overwrite an entry
+    *after* a fast callee's callback recorded its ``Result``, erasing
+    it. That loses nothing — the replayer re-invokes the **same** callee
+    id, the callee's intent table replays the logged return (§4.5's
+    exactly-once backstop), and the callback re-records. The caller's
+    GC horizon (no instance outlives ``T``) keeps the callee's intent
+    alive for every such retry. Partial batch throttles retry through
+    :func:`~repro.kvstore.batch_write_all`; entries always land before
+    any dispatch, preserving the entry-before-invoke invariant the
+    callback handler relies on.
+    """
+    if not getattr(ctx.config, "batch_log_writes", False) or len(calls) < 2:
+        return [prepare_invoke(ctx, callee, payload)
+                for callee, payload in calls]
+    prepared = []
+    entries = []
+    first_step = None
+    for callee, payload_input in calls:
+        step = ctx.next_step()
+        if first_step is None:
+            first_step = step
+        callee_id = _derived_callee_id(ctx.instance_id, step)
+        entries.append({
+            "InstanceId": ctx.instance_id,
+            "Step": step,
+            "CalleeId": callee_id,
+            "Callee": callee,
+            "Async": False,
+            "InTxn": ctx.in_txn_execute(),
+        })
+        call = {
+            "kind": "call",
+            "instance_id": callee_id,
+            "input": payload_input,
+            "caller": {"ssf": ctx.function_name,
+                       "instance_id": ctx.instance_id,
+                       "step": step},
+            "async": False,
+        }
+        if ctx.in_txn_execute():
+            call["txn"] = ctx.txn.payload()
+        prepared.append({"step": step, "callee": callee, "call": call,
+                         "logged": None})
+    ctx.crash_point(f"pinvoke:{first_step}:before-claim")
+    batch_write_all(ctx.store, ctx.env.invoke_log, puts=entries)
+    ctx.crash_point(f"pinvoke:{first_step}:after-claim")
+    return prepared
+
+
 def parallel_invoke_op(ctx, calls: list) -> list:
     """Concurrent synchronous invocations, joined (§6.2's threads).
 
     Steps and invoke-log entries are allocated sequentially first, so
     re-executions replay the identical log keys regardless of completion
-    order; only the deliveries run concurrently. A TxnAborted from any
-    branch is re-raised after all branches join (locks held by the
-    survivors stay consistent for the abort protocol).
+    order; only the deliveries run concurrently. With
+    ``batch_log_writes`` the N entry claims coalesce into one
+    ``batch_write`` round trip (see :func:`prepare_parallel_invokes`).
+    A TxnAborted from any branch is re-raised after all branches join
+    (locks held by the survivors stay consistent for the abort
+    protocol).
     """
-    prepared = [prepare_invoke(ctx, callee, payload)
-                for callee, payload in calls]
+    prepared = prepare_parallel_invokes(ctx, calls)
     kernel = ctx.runtime.kernel
     procs = [kernel.spawn(complete_invoke, ctx, p, False,
                           name=f"parallel:{p['callee']}")

@@ -22,6 +22,17 @@ D     not logged, row full, no successor -> append a row, retry
 Cases are probed in transition-graph order (states with no incoming edges
 first), so a failed conditional write soundly eliminates its case even
 under concurrent mutation.
+
+A note on the async/batched-I/O flags (``docs/async_io.md``): the log
+writes issued here are **deliberately never** deferred or coalesced. A
+read's conditional read-log put is the serialization point replay
+determinism rests on — it must land before any later effect that could
+depend on the observed value, so write-behind buffering would break the
+exactly-once argument. Batching applies only where writes are idempotent
+or deterministic (the GC's deletions, the parallel-invoke claim batch in
+``invoke.py``); overlapping applies only across *independent* operations
+(the commit fan-out in ``txn.py``), never within one operation's
+probe/log sequence.
 """
 
 from __future__ import annotations

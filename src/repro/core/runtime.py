@@ -79,7 +79,9 @@ class BeldiRuntime:
                  replicas: int = 1,
                  read_consistency: Optional[str] = None,
                  replication_lag_scale: float = 1.0,
-                 store_faults: Optional[FaultPolicy] = None) -> None:
+                 store_faults: Optional[FaultPolicy] = None,
+                 async_io: Optional[bool] = None,
+                 batch_log_writes: Optional[bool] = None) -> None:
         """``shards > 1`` partitions storage across that many simulated
         store nodes behind a :class:`~repro.kvstore.ShardedStore` — each
         node with its own latency stream, fault domain, metering, and
@@ -107,19 +109,31 @@ class BeldiRuntime:
         :class:`~repro.kvstore.faults.FaultPolicy` on every store node
         and replica group (throttling, latency spikes, and — with
         ``leader_crash_probability`` — injected leader failovers).
+
+        ``async_io``/``batch_log_writes`` override the corresponding
+        :class:`BeldiConfig` flags (both default *on* there): overlapped
+        store round trips and coalesced idempotent log writes. With both
+        ``False`` the runtime reproduces the sequential-I/O behavior
+        bit-for-bit (pinned by ``tests/core/test_async_io_flags.py``).
         """
         self.kernel = kernel or SimKernel(seed=seed)
         self.rand = RandomSource(seed, "beldi")
         self.config = config or BeldiConfig()
+        overrides = {}
         if read_consistency is not None:
             if read_consistency not in ("strong", "eventual"):
                 raise ValueError(
                     f"read_consistency must be 'strong' or 'eventual', "
                     f"got {read_consistency!r}")
+            overrides["read_consistency"] = read_consistency
+        if async_io is not None:
+            overrides["async_io"] = bool(async_io)
+        if batch_log_writes is not None:
+            overrides["batch_log_writes"] = bool(batch_log_writes)
+        if overrides:
             # Copy before overriding: the caller may share one config
-            # across runtimes, and the override is per-runtime.
-            self.config = dataclasses.replace(
-                self.config, read_consistency=read_consistency)
+            # across runtimes, and the overrides are per-runtime.
+            self.config = dataclasses.replace(self.config, **overrides)
         latency = LatencyModel(self.rand.child("latency"),
                                scale=latency_scale)
         if shards < 1:
@@ -157,11 +171,14 @@ class BeldiRuntime:
                     latency=LatencyModel(
                         self.rand.child(f"repl-latency-shard{i}")),
                     faults=store_faults,
-                    lag_scale=replication_lag_scale))
-            self.store = ReplicatedStore(groups)
+                    lag_scale=replication_lag_scale,
+                    async_io=self.config.async_io))
+            self.store = ReplicatedStore(groups,
+                                         async_io=self.config.async_io)
         elif shards > 1:
             self.store = ShardedStore(
-                [build_node(i) for i in range(shards)])
+                [build_node(i) for i in range(shards)],
+                async_io=self.config.async_io)
         else:
             self.store = KVStore(
                 time_source=KernelTimeSource(self.kernel),
@@ -424,7 +441,8 @@ class BeldiRuntime:
         resolve_local(env, txn_payload["id"], mode,
                       cache=(self.tail_cache
                              if self.config.tail_cache else None),
-                      batch=self.config.batch_reads)
+                      batch=self.config.batch_reads,
+                      async_io=self.config.async_io)
         # Recurse using a minimal context (no intent bookkeeping needed:
         # signals are at-least-once and idempotent).
         intent = intents.get_intent(env, instance_id) or {

@@ -29,7 +29,7 @@ from typing import Any, Optional
 from repro.core import daal, ops
 from repro.core.env import SHADOW_TXN_INDEX, BeldiEnv
 from repro.core.errors import MisusedApi, TxnAborted
-from repro.kvstore import Set, batch_get_all
+from repro.kvstore import Set, batch_get_all, overlap
 from repro.kvstore.expressions import Condition, path
 
 EXECUTE = "execute"
@@ -175,7 +175,8 @@ def tx_cond_write(ctx, short: str, key: Any, value: Any,
 # ---------------------------------------------------------------------------
 
 def resolve_local(env: BeldiEnv, txn_id: str, mode: str,
-                  cache=None, batch: bool = False) -> dict:
+                  cache=None, batch: bool = False,
+                  async_io: bool = False) -> dict:
     """Phase 2, local part: flush shadows (commit) and release locks.
 
     Idempotent and at-least-once: every step is conditioned on
@@ -187,6 +188,14 @@ def resolve_local(env: BeldiEnv, txn_id: str, mode: str,
     N shadow-tail fetches coalesce into one ``batch_get`` round trip —
     single-row shadow chains (the common case) need no extra read at
     all, their head row from the index query already carries the value.
+    With ``async_io`` the per-item flushes (and, separately, the lock
+    releases) fan out under an :func:`~repro.kvstore.overlap` scope:
+    each item's flush is one sequential branch (its internal
+    read-retry-update chain still serializes), distinct items pay
+    ``max`` instead of the sum. Sound because every branch touches a
+    distinct item's chain, and each flush/release is individually
+    idempotent — overlap changes when virtual time passes, never which
+    conditional writes land.
     """
     store = env.store
     stats = {"flushed": 0, "released": 0}
@@ -202,20 +211,25 @@ def resolve_local(env: BeldiEnv, txn_id: str, mode: str,
                     head_rows[row["Key"]] = row
             finals = _shadow_finals(store, shadow, sorted(chains),
                                     head_rows, cache, batch)
-            for skey, orig_key in sorted(chains.items()):
-                final = finals[skey]
-                if final == daal.MISSING:
-                    continue
-                if daal.flush_value(store, env.data_table(short), orig_key,
-                                    final, txn_id, cache=cache):
-                    stats["flushed"] += 1
+            with overlap(store, enabled=async_io) as scope:
+                for skey, orig_key in sorted(chains.items()):
+                    final = finals[skey]
+                    if final == daal.MISSING:
+                        continue
+                    with scope.branch():
+                        if daal.flush_value(store, env.data_table(short),
+                                            orig_key, final, txn_id,
+                                            cache=cache):
+                            stats["flushed"] += 1
     refs = store.query(env.lockset_table, txn_id)
-    for ref in refs.items:
-        released = daal.release_lock(
-            store, env.data_table(ref["Table"]), ref["ItemKey"], txn_id,
-            cache=cache)
-        if released:
-            stats["released"] += 1
+    with overlap(store, enabled=async_io) as scope:
+        for ref in refs.items:
+            with scope.branch():
+                released = daal.release_lock(
+                    store, env.data_table(ref["Table"]), ref["ItemKey"],
+                    txn_id, cache=cache)
+                if released:
+                    stats["released"] += 1
     return stats
 
 
@@ -316,7 +330,8 @@ def finish_transaction(ctx, commit: bool) -> str:
     mode = COMMIT if commit and not txn.aborted else ABORT
     ctx.crash_point(f"txn:{txn.txn_id}:resolving:{mode}")
     resolve_local(ctx.env, txn.txn_id, mode, cache=ctx.tail_cache,
-                  batch=getattr(ctx.config, "batch_reads", False))
+                  batch=getattr(ctx.config, "batch_reads", False),
+                  async_io=getattr(ctx.config, "async_io", False))
     ctx.crash_point(f"txn:{txn.txn_id}:resolved-local")
     propagate_signal(ctx, ctx.instance_id, txn.payload(mode))
     ctx.crash_point(f"txn:{txn.txn_id}:propagated")

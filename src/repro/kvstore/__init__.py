@@ -63,6 +63,7 @@ from repro.kvstore.expressions import (
     Value,
     path,
 )
+from repro.kvstore.asyncio import OverlapScope, overlap
 from repro.kvstore.item import item_size
 from repro.kvstore.metering import Metering
 from repro.kvstore.replication import (
@@ -74,29 +75,35 @@ from repro.kvstore.replication import (
 from repro.kvstore.sharding import HashRing, ShardedStore, ShardedTableView
 from repro.kvstore.store import (
     BatchGetResult,
+    BatchWriteResult,
     KernelTimeSource,
     KVStore,
+    MAX_BATCH_WRITE_ITEMS,
     NullTimeSource,
     TransactDelete,
     TransactPut,
     TransactUpdate,
     batch_get_all,
+    batch_write_all,
 )
 from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
 
 __all__ = [
     "Add", "And", "AttrExists", "AttrNotExists", "BatchGetResult",
-    "BeginsWith", "Between",
+    "BatchWriteResult", "BeginsWith", "Between",
     "ConditionFailed", "Contains", "Delete", "Eq", "Ge", "Gt", "HashRing",
     "IfNotExists",
     "In", "ItemTooLarge", "KVStore", "KVStoreError", "KernelTimeSource",
-    "KeySchema", "Le", "ListAppend", "Lt", "Metering", "Minus", "Ne", "Not",
-    "NullTimeSource", "Or", "Path", "PathRef", "Plus", "QueryResult",
+    "KeySchema", "Le", "ListAppend", "Lt", "MAX_BATCH_WRITE_ITEMS",
+    "Metering", "Minus", "Ne", "Not",
+    "NullTimeSource", "Or", "OverlapScope", "Path", "PathRef", "Plus",
+    "QueryResult",
     "ReadConsistency", "Remove", "ReplicaGroup", "ReplicatedStore",
     "ReplicationStats",
     "ScanResult", "Set", "ShardedStore", "ShardedTableView",
     "SizeEq", "SizeGe", "SizeGt", "SizeLe",
     "SizeLt", "Table", "TableExists", "TableNotFound", "ThrottledError",
     "TransactDelete", "TransactPut", "TransactUpdate", "TransactionCanceled",
-    "Value", "batch_get_all", "item_size", "path",
+    "Value", "batch_get_all", "batch_write_all", "item_size", "overlap",
+    "path",
 ]

@@ -45,12 +45,13 @@ class FaultPolicy:
         substrate itself stays durable, per §2.2. Scope with ``only_ops``
         / ``only_shards`` like every other fault.
 
-    A batched operation (``batch_get``) consults the policy **once per
-    batch**, not once per row: one draw throttles or spikes the whole
-    round trip, which is exactly how a provider-side throttle behaves.
-    A throttled batch is *partially* served, DynamoDB-style: the store
-    returns the rows it processed and reports the rest as unprocessed
-    (see :meth:`~repro.kvstore.KVStore.batch_get`).
+    A batched operation (``batch_get``, ``batch_write``) consults the
+    policy **once per batch**, not once per row: one draw throttles or
+    spikes the whole round trip, which is exactly how a provider-side
+    throttle behaves. A throttled batch is *partially* served,
+    DynamoDB-style: the store processes a prefix and reports the rest
+    as unprocessed (see :meth:`~repro.kvstore.KVStore.batch_get` /
+    :meth:`~repro.kvstore.KVStore.batch_write`).
     """
 
     throttle_probability: float = 0.0

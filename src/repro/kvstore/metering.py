@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 READ_UNIT_BYTES = 4 * 1024
 WRITE_UNIT_BYTES = 1024
@@ -110,6 +110,26 @@ class Metering:
         rec.items += 1
         rec.bytes_written += nbytes
         rec.write_units += max(1.0, nbytes / WRITE_UNIT_BYTES)
+        self.per_table[table] += 1
+
+    def record_batch_write(self, op: str, table: str,
+                           sizes: Sequence[int]) -> None:
+        """One batched round trip covering ``len(sizes)`` written rows.
+
+        Write units are billed per item exactly as the sequential path
+        would (``max(1, bytes/1KB)`` each — DynamoDB prices
+        ``BatchWriteItem`` identically to the individual writes); only
+        the request ``count`` drops to one, which is precisely the
+        batching win the fast-path gates measure.
+        """
+        if not self.enabled:
+            return
+        rec = self.ops.setdefault(op, OpRecord())
+        rec.count += 1
+        rec.items += max(len(sizes), 1)
+        rec.bytes_written += sum(sizes)
+        rec.write_units += sum(
+            max(1.0, nbytes / WRITE_UNIT_BYTES) for nbytes in sizes)
         self.per_table[table] += 1
 
     # -- rollups --------------------------------------------------------------

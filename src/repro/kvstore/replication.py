@@ -39,6 +39,33 @@ plain :class:`~repro.kvstore.sharding.ShardedStore` behavior.
 :class:`ReplicatedStore` is a :class:`ShardedStore` whose nodes are
 replica groups — all routing, fan-out, and cross-shard transaction
 logic is inherited unchanged; the group speaks the node protocol.
+
+With ``async_io=True`` the group additionally **batches log shipping**:
+a multi-row commit (a transaction's writes, a ``batch_write``) ships as
+one boat per follower — a single sampled ``repl.ship`` delay covers the
+whole batch, Netherite-style — and the eventually consistent
+``batch_get`` fan-out across followers overlaps its round trips. Off
+(the default for hand-built groups) keeps per-record shipping and
+sequential fan-outs bit-for-bit.
+
+Invariants this layer must uphold (see ``docs/architecture.md``):
+
+- **Writes are leader-serialized.** Every mutation commits on the
+  leader before anything ships; followers apply the log strictly in
+  sequence order, so a follower is always a prefix-consistent past
+  state of the leader — never a divergent one.
+- **Bounded staleness.** A record becomes visible on every follower no
+  later than ``max_lag`` after commit (batched boats included), which
+  is what makes eventual reads — and the GC's eventual first-pass
+  scan — analyzable.
+- **Failover loses nothing.** The replication log is durable; promotion
+  replays the unacked suffix, so the promoted leader's state is
+  identical to the crashed leader's and no acknowledged write is ever
+  lost. Layers above observe only latency.
+- **Correctness reads stay leader-routed.** Only reads that explicitly
+  declare eventual consistency may touch a follower;
+  ``Metering.per_table_eventual`` exists to prove protocol tables never
+  appear there.
 """
 
 from __future__ import annotations
@@ -49,6 +76,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
+from repro.kvstore.asyncio import overlap
 from repro.kvstore.errors import ThrottledError
 from repro.kvstore.expressions import Condition, Projection
 from repro.kvstore.faults import FaultPolicy
@@ -56,6 +84,7 @@ from repro.kvstore.metering import Metering, normalize_consistency
 from repro.kvstore.sharding import HashRing, ShardedStore, ShardedTableView
 from repro.kvstore.store import (
     BatchGetResult,
+    BatchWriteResult,
     KVStore,
     TransactOp,
     TransactPut,
@@ -207,9 +236,14 @@ class ReplicaGroup:
                  latency: Optional[LatencyModel] = None,
                  faults: Optional[FaultPolicy] = None,
                  max_lag: float = DEFAULT_MAX_LAG_MS,
-                 lag_scale: float = 1.0) -> None:
+                 lag_scale: float = 1.0,
+                 async_io: bool = False) -> None:
         if max_lag < 0:
             raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+        #: Batch multi-row log shipping (one boat per follower per
+        #: commit) and overlap the eventual batch-read fan-out. Off =
+        #: per-record shipping and sequential fan-outs, bit-for-bit.
+        self.async_io = async_io
         self.nodes: list[KVStore] = [leader, *followers]
         self.leader_index = 0
         self.rand = rand or RandomSource(0, "replica-group")
@@ -333,43 +367,68 @@ class ReplicaGroup:
             hashlib.md5(token.encode("utf-8")).digest()[:8], "big")
         return indexes[digest % len(indexes)]
 
-    def _append_record(self, kind: str, table: str,
-                       item: Optional[dict], key: Any,
-                       immediate: bool) -> None:
-        self._next_seq += 1
-        record = _LogRecord(self._next_seq, kind, table, item, key)
-        self.stats.shipped += 1
+    def _ship_records(self, protos: Sequence[tuple], immediate: bool,
+                      batched: bool = False) -> None:
+        """Commit ``protos`` (``(kind, table, item, key)``) to the log.
+
+        ``batched=False`` reproduces per-record shipping exactly: one
+        ``repl.ship`` draw per record per follower, in record order.
+        ``batched=True`` (the ``async_io`` boat) draws **one** delay per
+        follower for the whole batch — the records travel together,
+        Netherite-style — while per-follower in-order visibility (and
+        therefore prefix consistency) is preserved by ``last_visible``.
+        """
+        records = []
+        for kind, table, item, key in protos:
+            self._next_seq += 1
+            records.append(_LogRecord(self._next_seq, kind, table, item,
+                                      key))
+            self.stats.shipped += 1
         now = self.time.now()
-        for index, follower in self._followers.items():
-            if index == self.leader_index:
-                continue
+        follower_items = [(index, follower)
+                          for index, follower in self._followers.items()
+                          if index != self.leader_index]
+
+        def ship_delay() -> float:
             if immediate or self.lag_scale == 0.0:
-                delay = 0.0
-            else:
-                delay = min(
-                    self.latency.sample("repl.ship") * self.lag_scale,
-                    self.max_lag)
-            visible = max(follower.last_visible, now + delay)
-            follower.last_visible = visible
-            follower.pending.append((record, visible))
+                return 0.0
+            return min(self.latency.sample("repl.ship") * self.lag_scale,
+                       self.max_lag)
+
+        if batched:
+            for index, follower in follower_items:
+                delay = ship_delay()
+                for record in records:
+                    visible = max(follower.last_visible, now + delay)
+                    follower.last_visible = visible
+                    follower.pending.append((record, visible))
+        else:
+            for record in records:
+                for index, follower in follower_items:
+                    delay = ship_delay()
+                    visible = max(follower.last_visible, now + delay)
+                    follower.last_visible = visible
+                    follower.pending.append((record, visible))
         # Opportunistic catch-up: apply whatever has already shipped, so
         # a write-only stretch cannot grow the pending queues unboundedly
         # (a record visible at ``t`` applies no later than the next
         # append — or the next read/failover, whichever drains first).
-        for index in list(self._followers):
-            if index != self.leader_index:
-                self._drain(index, now)
+        for index, _follower in follower_items:
+            self._drain(index, now)
 
-    def _ship_row(self, table: str, key: Any, immediate: bool = False
-                  ) -> None:
-        """Append the row's *current leader state* to the log."""
+    def _row_proto(self, table: str, key: Any) -> tuple:
+        """The row's *current leader state*, ready for the log."""
         leader_table = self.leader._tables[table]
         normalized = leader_table.schema.normalize(key)
         row = leader_table.get(normalized)
         if row is None:
-            self._append_record(_DELETE, table, None, normalized, immediate)
-        else:
-            self._append_record(_PUT, table, row, None, immediate)
+            return (_DELETE, table, None, normalized)
+        return (_PUT, table, row, None)
+
+    def _ship_row(self, table: str, key: Any, immediate: bool = False
+                  ) -> None:
+        """Append the row's current leader state to the log."""
+        self._ship_records([self._row_proto(table, key)], immediate)
 
     def _apply_record(self, node: KVStore, record: _LogRecord) -> None:
         table = node._tables.get(record.table)
@@ -467,7 +526,10 @@ class ReplicaGroup:
         promoted.last_visible = now
         self.stats.failovers += 1
         self.stats.replayed += len(replay)
-        self.time.sleep(
+        # ``pay`` (not ``sleep``): a failover tripped inside an overlap
+        # scope must defer its cost like any other store latency — a
+        # scope body may never yield to the kernel mid-flight.
+        self.time.pay(
             self.latency.sample("repl.failover", units=len(replay)))
         return promoted_index
 
@@ -550,24 +612,26 @@ class ReplicaGroup:
         results: list[Optional[dict]] = [None] * len(keys)
         unprocessed: list[int] = []
         served_any = False
-        for index in sorted(by_follower):
-            positions = by_follower[index]
-            self._drain(index)
-            self.stats.eventual_reads += 1
-            try:
-                got = self._followers[index].node.batch_get(
-                    table, [keys[i] for i in positions],
-                    projection=projection, consistency=mode)
-            except ThrottledError:
-                unprocessed.extend(positions)
-                continue
-            unserved = set(got.unprocessed_indexes)
-            for offset, position in enumerate(positions):
-                if offset in unserved:
-                    unprocessed.append(position)
-                else:
-                    served_any = True
-                    results[position] = got[offset]
+        with overlap(self, enabled=self.async_io) as scope:
+            for index in sorted(by_follower):
+                positions = by_follower[index]
+                self._drain(index)
+                self.stats.eventual_reads += 1
+                try:
+                    with scope.branch():
+                        got = self._followers[index].node.batch_get(
+                            table, [keys[i] for i in positions],
+                            projection=projection, consistency=mode)
+                except ThrottledError:
+                    unprocessed.extend(positions)
+                    continue
+                unserved = set(got.unprocessed_indexes)
+                for offset, position in enumerate(positions):
+                    if offset in unserved:
+                        unprocessed.append(position)
+                    else:
+                        served_any = True
+                        results[position] = got[offset]
         if not served_any:
             raise ThrottledError(
                 "db.batch_read throttled on every follower")
@@ -625,16 +689,52 @@ class ReplicaGroup:
             self._ship_row(table, key)
         return removed
 
+    def batch_write(self, table: str, puts: Sequence[dict] = (),
+                    deletes: Sequence[Any] = ()) -> BatchWriteResult:
+        """Leader ``BatchWriteItem``; applied rows ship to followers.
+
+        Only the *applied* prefix ships (unprocessed items changed
+        nothing). Deletes of absent rows ship harmless tombstones, as a
+        follower's delete of a missing key is a no-op. Under ``async_io``
+        the whole batch travels as one boat per follower.
+        """
+        # Materialize before the leader consumes them: a generator
+        # argument must still be visible for shipping below.
+        puts = list(puts)
+        deletes = list(deletes)
+        self._maybe_failover("db.batch_write")
+        result = self.leader.batch_write(table, puts, deletes)
+        served_puts = puts[:len(puts) - len(result.unprocessed_puts)]
+        served_deletes = deletes[:len(deletes)
+                                 - len(result.unprocessed_deletes)]
+        schema = self.leader._tables[table].schema
+        protos = [self._row_proto(table, schema.extract(item))
+                  for item in served_puts]
+        protos += [self._row_proto(table, key) for key in served_deletes]
+        if protos:
+            self._ship_records(protos, immediate=False,
+                               batched=self.async_io)
+        return result
+
     def transact_write(self, ops: Sequence[TransactOp]) -> None:
         self._maybe_failover("db.txn")
         self.leader.transact_write(ops)
         self._ship_transact(ops)
 
     def _ship_transact(self, ops: Sequence[TransactOp]) -> None:
-        for op in ops:
-            key = (self.leader._tables[op.table].schema.extract(op.item)
-                   if isinstance(op, TransactPut) else op.key)
-            self._ship_row(op.table, key)
+        keys = [(op.table,
+                 self.leader._tables[op.table].schema.extract(op.item)
+                 if isinstance(op, TransactPut) else op.key)
+                for op in ops]
+        if self.async_io and len(keys) > 1:
+            # One boat: the transaction's rows ship together, each
+            # follower drawing a single delay for the whole commit.
+            self._ship_records([self._row_proto(table, key)
+                                for table, key in keys],
+                               immediate=False, batched=True)
+            return
+        for table, key in keys:
+            self._ship_row(table, key)
 
     # -- two-phase hooks used by ShardedStore's cross-shard path ---------------
     def _transact_check(self, ops: Sequence[TransactOp]) -> None:
@@ -645,6 +745,13 @@ class ReplicaGroup:
         self._ship_transact(ops)
 
     # -- stats -----------------------------------------------------------------
+    def time_sources(self) -> list:
+        """Every member's time source (leader and followers alike)."""
+        sources = []
+        for node in self.nodes:
+            sources.extend(node.time_sources())
+        return sources
+
     def storage_bytes(self, table: Optional[str] = None) -> int:
         # Logical bytes: replicas are copies, not additional data.
         return self.leader.storage_bytes(table)
@@ -664,8 +771,9 @@ class ReplicatedStore(ShardedStore):
     """
 
     def __init__(self, groups: Sequence[ReplicaGroup],
-                 ring: Optional[HashRing] = None) -> None:
-        super().__init__(groups, ring=ring)
+                 ring: Optional[HashRing] = None,
+                 async_io: bool = False) -> None:
+        super().__init__(groups, ring=ring, async_io=async_io)
 
     @property
     def groups(self) -> list[ReplicaGroup]:

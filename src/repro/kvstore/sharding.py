@@ -42,9 +42,39 @@ Fan-out operations:
     coordinator window collapses to latency — what remains observable is
     the two-round cost and all-or-nothing atomicity.
 
+``batch_write``
+    The write-side twin: puts route by item, deletes by key, one
+    ``BatchWriteItem`` round trip per involved node; unprocessed items
+    merge back and the call raises only when no item anywhere applied.
+
+With ``async_io=True`` the fan-outs (``batch_get``/``batch_write``) and
+the cross-shard transaction's per-shard rounds run under an
+:func:`~repro.kvstore.asyncio.overlap` scope: the involved nodes' round
+trips pay ``max(latencies)`` plus per-node capacity queueing instead of
+the sum. Off (the default for hand-built stores) keeps the sequential
+virtual-latency model bit-for-bit.
+
 Routing is stable: an MD5-based hash ring with virtual nodes, keyed by
 ``"<table>|<partition key repr>"`` — independent of process hash seeds,
 so a given key lands on the same shard in every run and every test.
+
+Invariants this layer must uphold (see ``docs/architecture.md``):
+
+- **Chain co-location.** Every row of one item's chain routes by the
+  item's partition key alone, so the row-scoped atomic conditional
+  write — Beldi's entire atomicity story — never spans nodes, and
+  ``query`` (the skeleton traversal) is single-node.
+- **Placement-independent results.** Fan-out reads re-merge to exactly
+  the single-node order (``query_index`` merge-sorts, ``batch_get``/
+  ``batch_write`` align with the request), so no layer above can
+  observe how many shards exist.
+- **All-or-nothing cross-shard writes.** The two-phase path checks
+  every condition and applies every write under all involved table
+  locks with no yield point in between; the store substrate is durable
+  and non-crashing (§2.2), so the coordinator window collapses to
+  latency.
+- **Per-shard fault/latency/metering domains stay independent** — one
+  node's throttle or saturation never alters a sibling's draws.
 """
 
 from __future__ import annotations
@@ -53,6 +83,7 @@ import hashlib
 from bisect import bisect_right
 from typing import Any, Optional, Sequence
 
+from repro.kvstore.asyncio import overlap
 from repro.kvstore.errors import (
     TableExists,
     TableNotFound,
@@ -62,7 +93,9 @@ from repro.kvstore.expressions import Condition, Projection, path
 from repro.kvstore.metering import Metering
 from repro.kvstore.store import (
     BatchGetResult,
+    BatchWriteResult,
     KVStore,
+    MAX_BATCH_WRITE_ITEMS,
     TransactPut,
     TransactOp,
 )
@@ -191,7 +224,8 @@ class ShardedStore:
     """
 
     def __init__(self, nodes: Sequence[KVStore],
-                 ring: Optional[HashRing] = None) -> None:
+                 ring: Optional[HashRing] = None,
+                 async_io: bool = False) -> None:
         if not nodes:
             raise ValueError("a sharded store needs at least one node")
         self.nodes = list(nodes)
@@ -200,6 +234,10 @@ class ShardedStore:
             raise ValueError(
                 f"ring covers {self.ring.n_shards} shards but "
                 f"{len(self.nodes)} nodes were given")
+        #: Overlap independent per-shard round trips (fan-outs, the
+        #: cross-shard transaction rounds) instead of serializing their
+        #: virtual latency. Off = the sequential model, bit-for-bit.
+        self.async_io = async_io
         self._schemas: dict[str, KeySchema] = {}
         self._views: dict[str, ShardedTableView] = {}
 
@@ -314,27 +352,80 @@ class ShardedStore:
         results: list[Optional[dict]] = [None] * len(keys)
         unprocessed: list[int] = []
         served_any = False
-        for shard in sorted(by_shard):
-            indexes = by_shard[shard]
-            try:
-                got = self.nodes[shard].batch_get(
-                    table, [keys[i] for i in indexes],
-                    projection=projection, consistency=consistency)
-            except ThrottledError:
-                unprocessed.extend(indexes)
-                continue
-            unserved = set(got.unprocessed_indexes)
-            for position, index in enumerate(indexes):
-                if position in unserved:
-                    unprocessed.append(index)
-                else:
-                    served_any = True
-                    results[index] = got[position]
+        with overlap(self, enabled=self.async_io) as scope:
+            for shard in sorted(by_shard):
+                indexes = by_shard[shard]
+                try:
+                    with scope.branch():
+                        got = self.nodes[shard].batch_get(
+                            table, [keys[i] for i in indexes],
+                            projection=projection,
+                            consistency=consistency)
+                except ThrottledError:
+                    unprocessed.extend(indexes)
+                    continue
+                unserved = set(got.unprocessed_indexes)
+                for position, index in enumerate(indexes):
+                    if position in unserved:
+                        unprocessed.append(index)
+                    else:
+                        served_any = True
+                        results[index] = got[position]
         if not served_any:
             raise ThrottledError("db.batch_read throttled on every shard")
         return BatchGetResult(results,
                               unprocessed_indexes=sorted(unprocessed),
                               keys=keys)
+
+    def batch_write(self, table: str, puts: Sequence[dict] = (),
+                    deletes: Sequence[Any] = ()) -> BatchWriteResult:
+        """Per-shard fan-out of one logical write batch.
+
+        Puts route by item, deletes by key; each involved node pays one
+        ``batch_write`` round trip (overlapped under ``async_io``).
+        Partial throttles and whole-node ``ThrottledError``\\ s merge into
+        the unprocessed lists; the call raises only when not a single
+        item on any shard was applied.
+        """
+        puts = list(puts)
+        deletes = list(deletes)
+        total = len(puts) + len(deletes)
+        if total == 0:
+            return BatchWriteResult()
+        if total > MAX_BATCH_WRITE_ITEMS:
+            raise ValueError(
+                f"batch_write accepts at most {MAX_BATCH_WRITE_ITEMS} "
+                f"items per request, got {total}")
+        puts_by_shard: dict[int, list[dict]] = {}
+        deletes_by_shard: dict[int, list[Any]] = {}
+        for item in puts:
+            puts_by_shard.setdefault(
+                self.shard_for(table, item), []).append(item)
+        for key in deletes:
+            deletes_by_shard.setdefault(
+                self.shard_for(table, key), []).append(key)
+        merged = BatchWriteResult()
+        applied_any = False
+        with overlap(self, enabled=self.async_io) as scope:
+            for shard in sorted(set(puts_by_shard) | set(deletes_by_shard)):
+                shard_puts = puts_by_shard.get(shard, [])
+                shard_deletes = deletes_by_shard.get(shard, [])
+                try:
+                    with scope.branch():
+                        result = self.nodes[shard].batch_write(
+                            table, shard_puts, shard_deletes)
+                except ThrottledError:
+                    merged.merge_from(BatchWriteResult(shard_puts,
+                                                       shard_deletes))
+                    continue
+                if (len(result.unprocessed_puts)
+                        + len(result.unprocessed_deletes)
+                        < len(shard_puts) + len(shard_deletes)):
+                    applied_any = True
+                merged.merge_from(result)
+        if not applied_any:
+            raise ThrottledError("db.batch_write throttled on every shard")
+        return merged
 
     def scan(self, table: str,
              filter_condition: Optional[Condition] = None,
@@ -453,12 +544,22 @@ class ShardedStore:
             shard, shard_ops = next(iter(groups.items()))
             self.nodes[shard].transact_write(shard_ops)
             return
-        # Phase 1 latency: one prepare round per involved shard.
-        for shard in sorted(groups):
-            self.nodes[shard]._pay("db.txn", units=len(groups[shard]))
+        # Phase 1 latency: one prepare round per involved shard. Under
+        # async_io the round's fan-out overlaps (all shards are contacted
+        # concurrently; the round completes when the slowest answers) —
+        # the two rounds themselves stay strictly sequential, as 2PC
+        # requires.
+        with overlap(self, enabled=self.async_io) as scope:
+            for shard in sorted(groups):
+                with scope.branch():
+                    self.nodes[shard]._pay("db.txn",
+                                           units=len(groups[shard]))
         # Phase 2 latency: one commit round per involved shard.
-        for shard in sorted(groups):
-            self.nodes[shard]._pay("db.txn", units=len(groups[shard]))
+        with overlap(self, enabled=self.async_io) as scope:
+            for shard in sorted(groups):
+                with scope.branch():
+                    self.nodes[shard]._pay("db.txn",
+                                           units=len(groups[shard]))
         # Decision + apply under every involved table's lock.
         tables: dict[tuple, Table] = {}
         for shard, shard_ops in groups.items():
@@ -486,6 +587,13 @@ class ShardedStore:
             self.nodes[shard]._transact_apply(groups[shard])
 
     # -- stats ---------------------------------------------------------------------
+    def time_sources(self) -> list:
+        """Every node's time source (overlap scopes must cover them all)."""
+        sources = []
+        for node in self.nodes:
+            sources.extend(node.time_sources())
+        return sources
+
     @property
     def metering(self) -> Metering:
         """Fleet-wide counters, merged fresh from every node.

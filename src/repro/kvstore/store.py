@@ -34,13 +34,42 @@ from repro.sim.randsrc import RandomSource
 
 
 class TimeSource:
-    """Protocol: provides virtual time passage for store operations."""
+    """Protocol: provides virtual time passage for store operations.
+
+    ``pay`` is the store-facing entry point: identical to ``sleep``
+    unless an :func:`~repro.kvstore.asyncio.overlap` scope is attached,
+    in which case the duration is deferred into the scope's completion
+    frontier instead of sleeping inline. ``pending_offset`` exposes the
+    scope cursor so capacity queues see overlapped arrivals at their
+    true issue offsets; ``clock_id`` identifies the underlying clock so
+    scope settlement never double-sleeps sources sharing one kernel.
+    """
+
+    #: Active overlap scope, attached by :func:`repro.kvstore.asyncio.overlap`.
+    _ov_scope = None
 
     def sleep(self, duration: float) -> None:
         raise NotImplementedError
 
     def now(self) -> float:
         raise NotImplementedError
+
+    def pay(self, duration: float) -> None:
+        """Sleep ``duration``, or defer it into the active overlap scope."""
+        scope = self._ov_scope
+        if scope is not None:
+            scope.add(duration)
+        else:
+            self.sleep(duration)
+
+    def pending_offset(self) -> float:
+        """Virtual time already accumulated by the active scope's strand."""
+        scope = self._ov_scope
+        return scope.cursor if scope is not None else 0.0
+
+    def clock_id(self):
+        """Identity of the clock this source advances (for deduping)."""
+        return id(self)
 
 
 class NullTimeSource(TimeSource):
@@ -75,6 +104,11 @@ class KernelTimeSource(TimeSource):
     def now(self) -> float:
         return self.kernel.now
 
+    def clock_id(self):
+        # All sources over one kernel share a clock: an overlap scope
+        # spanning several store nodes must settle its frontier once.
+        return ("kernel", id(self.kernel))
+
 
 @dataclass(frozen=True)
 class TransactPut:
@@ -99,6 +133,35 @@ class TransactDelete:
 
 
 TransactOp = Union[TransactPut, TransactUpdate, TransactDelete]
+
+
+#: DynamoDB ``BatchWriteItem`` caps one request at 25 put/delete items.
+MAX_BATCH_WRITE_ITEMS = 25
+
+
+class BatchWriteResult:
+    """``batch_write``'s return value: what the round trip left unserved.
+
+    Mirrors DynamoDB ``BatchWriteItem``'s ``UnprocessedItems``: under a
+    throttle the store may apply only a prefix of the batch and hand the
+    rest back for the caller to retry (:func:`batch_write_all` is the
+    retrying wrapper). ``unprocessed_puts`` holds the unapplied item
+    dicts, ``unprocessed_deletes`` the unapplied keys, both in request
+    order.
+    """
+
+    def __init__(self, unprocessed_puts: Sequence[dict] = (),
+                 unprocessed_deletes: Sequence[Any] = ()) -> None:
+        self.unprocessed_puts: list[dict] = list(unprocessed_puts)
+        self.unprocessed_deletes: list[Any] = list(unprocessed_deletes)
+
+    @property
+    def complete(self) -> bool:
+        return not self.unprocessed_puts and not self.unprocessed_deletes
+
+    def merge_from(self, other: "BatchWriteResult") -> None:
+        self.unprocessed_puts.extend(other.unprocessed_puts)
+        self.unprocessed_deletes.extend(other.unprocessed_deletes)
 
 
 class BatchGetResult(list):
@@ -195,15 +258,22 @@ class KVStore:
                                                 shard=self.shard_id))
 
     def _charge(self, op: str, units: float = 0.0) -> None:
-        """Pay the virtual-time cost of one (admitted) operation."""
+        """Pay the virtual-time cost of one (admitted) operation.
+
+        Under an :func:`~repro.kvstore.asyncio.overlap` scope the cost is
+        deferred into the scope's frontier (``pay``) rather than slept
+        inline; the capacity queue still sees the true arrival offset, so
+        overlapped operations queue exactly as concurrent arrivals would.
+        """
         multiplier = 1.0
         if self.faults is not None:
             multiplier = self.faults.latency_multiplier(
                 self.rand, op, shard=self.shard_id)
         service = self.latency.sample(op, units=units) * multiplier
         if self.queue is not None and service > 0:
-            service = self.queue.delay(self.time.now(), service)
-        self.time.sleep(service)
+            service = self.queue.delay(
+                self.time.now() + self.time.pending_offset(), service)
+        self.time.pay(service)
 
     def _pay(self, op: str, units: float = 0.0) -> None:
         if self._throttled(op):
@@ -271,6 +341,66 @@ class KVStore:
         return BatchGetResult(items,
                               unprocessed_indexes=range(served, len(keys)),
                               keys=keys)
+
+    def batch_write(self, table: str, puts: Sequence[dict] = (),
+                    deletes: Sequence[Any] = ()) -> BatchWriteResult:
+        """Write/delete many rows of one table in a single round trip.
+
+        Models DynamoDB ``BatchWriteItem`` restricted to one table: up to
+        :data:`MAX_BATCH_WRITE_ITEMS` **unconditional** puts and deletes
+        (DynamoDB supports no conditions in a batch) paying one
+        latency/fault draw, metered as a single request whose write units
+        cover every applied item — identical units to the sequential
+        path, fewer round trips. An empty batch is free. A batch may not
+        put and delete the same key (DynamoDB rejects such requests).
+
+        Throttling is DynamoDB-style **partial**: a throttle draw applies
+        only a prefix (puts first, then deletes, in request order) and
+        reports the rest through :class:`BatchWriteResult` — callers
+        retry via :func:`batch_write_all`. Only when *nothing* could be
+        applied does the call raise :class:`ThrottledError`, matching the
+        point-write contract.
+        """
+        puts = list(puts)
+        deletes = list(deletes)
+        total = len(puts) + len(deletes)
+        if total == 0:
+            return BatchWriteResult()
+        if total > MAX_BATCH_WRITE_ITEMS:
+            raise ValueError(
+                f"batch_write accepts at most {MAX_BATCH_WRITE_ITEMS} "
+                f"items per request, got {total}")
+        tbl = self.table(table)
+        # DynamoDB rejects any repeated key in one BatchWriteItem —
+        # duplicate puts, duplicate deletes, or a put+delete pair.
+        touched = set()
+        for token in ([repr(tbl.schema.extract(item)) for item in puts]
+                      + [repr(tbl.schema.normalize(key))
+                         for key in deletes]):
+            if token in touched:
+                raise ValueError(
+                    "batch_write may not touch the same key twice in "
+                    "one request")
+            touched.add(token)
+        served = total
+        if self._throttled("db.batch_write"):
+            served = self.rand.randint(0, total - 1)
+            if served == 0:
+                raise ThrottledError("db.batch_write throttled")
+        self._charge("db.batch_write", units=served)
+        sizes: list[int] = []
+        served_puts = min(served, len(puts))
+        for item in puts[:served_puts]:
+            tbl.put(item)
+            sizes.append(item_size(item))
+        served_deletes = served - served_puts
+        for key in deletes[:served_deletes]:
+            removed = tbl.delete(key)
+            sizes.append(item_size(removed) if removed else 0)
+        self.metering.record_batch_write("batch_write", table, sizes)
+        return BatchWriteResult(
+            unprocessed_puts=puts[served_puts:],
+            unprocessed_deletes=deletes[served_deletes:])
 
     def put(self, table: str, item: dict,
             condition: Optional[Condition] = None) -> None:
@@ -416,6 +546,10 @@ class KVStore:
                                    total_bytes)
 
     # -- stats ---------------------------------------------------------------------------
+    def time_sources(self) -> list[TimeSource]:
+        """The time sources an overlap scope must cover (just ours)."""
+        return [self.time]
+
     def storage_bytes(self, table: Optional[str] = None) -> int:
         if table is not None:
             return self.table(table).storage_bytes()
@@ -462,15 +596,62 @@ def batch_get_all(store, table: str, keys: Sequence[Any],
     return results
 
 
+def batch_write_all(store, table: str, puts: Sequence[dict] = (),
+                    deletes: Sequence[Any] = (),
+                    attempts: int = 4) -> None:
+    """``batch_write`` that chunks, then retries the remainder to done.
+
+    Splits arbitrarily large put/delete sets into
+    :data:`MAX_BATCH_WRITE_ITEMS`-item requests, re-issues whatever each
+    round left unprocessed (throttled whole batches included), and after
+    ``attempts`` rounds falls back to point ``put``/``delete`` calls —
+    the pre-batching behavior, with its usual throttling semantics. This
+    is the retry loop DynamoDB's SDKs run for ``UnprocessedItems``; the
+    GC and the parallel-invoke claim path use it so a partial throttle
+    never fails a whole batch.
+    """
+    pending_puts = list(puts)
+    pending_deletes = list(deletes)
+    for _ in range(attempts):
+        if not pending_puts and not pending_deletes:
+            return
+        retry_puts: list[dict] = []
+        retry_deletes: list[Any] = []
+        queue_puts, queue_deletes = pending_puts, pending_deletes
+        while queue_puts or queue_deletes:
+            chunk_puts = queue_puts[:MAX_BATCH_WRITE_ITEMS]
+            queue_puts = queue_puts[len(chunk_puts):]
+            room = MAX_BATCH_WRITE_ITEMS - len(chunk_puts)
+            chunk_deletes = queue_deletes[:room]
+            queue_deletes = queue_deletes[len(chunk_deletes):]
+            try:
+                result = store.batch_write(table, chunk_puts,
+                                           chunk_deletes)
+            except ThrottledError:
+                retry_puts.extend(chunk_puts)
+                retry_deletes.extend(chunk_deletes)
+                continue
+            retry_puts.extend(result.unprocessed_puts)
+            retry_deletes.extend(result.unprocessed_deletes)
+        pending_puts, pending_deletes = retry_puts, retry_deletes
+    for item in pending_puts:
+        store.put(table, item)
+    for key in pending_deletes:
+        store.delete(table, key)
+
+
 __all__ = [
     "BatchGetResult",
+    "BatchWriteResult",
     "ConditionFailed",
     "KVStore",
     "KernelTimeSource",
+    "MAX_BATCH_WRITE_ITEMS",
     "NullTimeSource",
     "TimeSource",
     "TransactDelete",
     "TransactPut",
     "TransactUpdate",
     "batch_get_all",
+    "batch_write_all",
 ]

@@ -9,6 +9,25 @@ scans, log writes, callbacks) is *not* calibrated — it emerges from the
 protocol's operation counts.
 
 Times are virtual milliseconds throughout the repository.
+
+Invariants this layer must uphold (see ``docs/architecture.md``):
+
+- **Determinism.** Every sample is drawn from a named
+  :class:`~repro.sim.randsrc.RandomSource` stream; for a given seed and
+  call order the sequence of draws — and therefore every virtual
+  timestamp in a run — is reproducible. Nothing here reads wall-clock
+  time or process-global randomness.
+- **Latency is additive, never causal.** A sample is how long an
+  operation *takes*, not whether it happens: the store applies its table
+  mutation regardless of the drawn duration, so correctness (exactly-once,
+  atomicity) can never depend on a latency value. This is what makes the
+  async overlap machinery (:mod:`repro.kvstore.asyncio`) safe — deferring
+  or collapsing sleeps changes *when* virtual time passes, not *what* the
+  store contains.
+- **Queueing is arrival-ordered.** :class:`ServiceCapacity` reserves a
+  server at arrival and never reorders: a given arrival sequence yields
+  one deterministic schedule, even when overlapped I/O presents many
+  arrivals at the same instant (they are served in issue order).
 """
 
 from __future__ import annotations
@@ -65,6 +84,10 @@ DEFAULT_SPECS: Dict[str, LatencySpec] = {
     # BatchGetItem: one round trip amortized over many rows — the base
     # cost of a read plus a small per-row marginal (server-side fan-out).
     "db.batch_read": LatencySpec(median=4.5, p99=14.0, per_unit=0.05),
+    # BatchWriteItem: the write-side twin — one round trip whose base
+    # cost matches a plain write, plus a per-item marginal slightly above
+    # the read batch's (writes are heavier server-side).
+    "db.batch_write": LatencySpec(median=5.0, p99=16.0, per_unit=0.06),
     # TransactWriteItems: two-phase accept/commit under the hood — roughly
     # the cost of two sequential conditional writes per item plus
     # coordination (observed well above 2x a plain write in practice).

@@ -1,0 +1,89 @@
+"""Pin: ``async_io=False, batch_log_writes=False`` is PR 3, bit-for-bit.
+
+The golden numbers below — final virtual time and total request dollars
+of a travel reservation + search, at calibrated latency, across the
+three store topologies — were recorded at the PR 3 head (commit
+``db3a02d``) *before* the async I/O layer landed. With both flags off
+the new code must reproduce them to the last bit: the overlap scope
+machinery, the ``batch_write`` primitive, and the batched claim/GC
+paths must all be strictly dormant. The suite is fully deterministic
+(virtual time, seeded streams), so exact float equality is the right
+assertion — any drift means a default-on behavior leaked past its flag.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.travel import TravelReservationApp
+from repro.core import BeldiConfig, BeldiRuntime
+
+SEED = 5
+
+#: (shards, replicas, read_consistency) -> (kernel.now, dollar_cost)
+#: recorded at the PR 3 head with this exact workload and seed.
+PR3_GOLDEN = {
+    (1, 1, None): (122352.74798556019, 9.350000000000001e-05),
+    (2, 1, None): (121918.72783863873, 9.425e-05),
+    (2, 3, "eventual"): (121917.47419790366, 9.412500000000001e-05),
+}
+PR3_OP_COUNTS = {"cond_write": 56, "query": 17, "read": 13, "write": 12}
+
+
+def _run(shards, replicas, read_consistency, async_io, batch_log_writes):
+    runtime = BeldiRuntime(
+        seed=SEED, latency_scale=1.0,
+        config=BeldiConfig(gc_t=1e12, async_io=async_io,
+                           batch_log_writes=batch_log_writes),
+        shards=shards, replicas=replicas,
+        read_consistency=read_consistency)
+    app = TravelReservationApp(seed=SEED, n_hotels=2, n_flights=2,
+                               rooms_per_hotel=2, seats_per_flight=2,
+                               n_users=1)
+    app.register(runtime)
+    app.seed_data(runtime)
+    reserved = runtime.run_workflow(
+        "frontend", {"action": "reserve", "user": "user-0000",
+                     "hotel": "hotel-0000", "flight": "flight-0001"})
+    runtime.run_workflow("frontend", {"action": "search", "cell": 3})
+    meter = runtime.store.metering
+    counts = {op: rec.count for op, rec in meter.ops.items()}
+    out = (runtime.kernel.now, meter.dollar_cost(), counts,
+           app.capacity_remaining())
+    runtime.kernel.shutdown()
+    assert reserved.get("ok")
+    return out
+
+
+@pytest.mark.parametrize("topology", sorted(PR3_GOLDEN,
+                                            key=lambda t: (t[0], t[1])))
+def test_flags_off_is_pr3_bit_for_bit(topology):
+    shards, replicas, consistency = topology
+    now, dollars, counts, _ = _run(shards, replicas, consistency,
+                                   async_io=False,
+                                   batch_log_writes=False)
+    golden_now, golden_dollars = PR3_GOLDEN[topology]
+    assert now == golden_now
+    assert dollars == golden_dollars
+    # The op mix is PR 3's exactly: in particular, no batch_write ever.
+    assert "batch_write" not in counts
+    for op, count in PR3_OP_COUNTS.items():
+        assert counts[op] == count, (op, counts)
+
+
+def test_flags_on_same_effects_and_cost():
+    """Flags on: same effects and billed dollars on this workload.
+
+    The reserve path has single-chain commits and no parallel invokes,
+    so the flags change nothing here — which is itself worth pinning:
+    default-on must not perturb a workload with nothing to overlap.
+    """
+    for topology in PR3_GOLDEN:
+        shards, replicas, consistency = topology
+        now, dollars, _counts, capacity = _run(
+            shards, replicas, consistency,
+            async_io=True, batch_log_writes=True)
+        golden_now, golden_dollars = PR3_GOLDEN[topology]
+        assert now == golden_now
+        assert dollars == golden_dollars
+        assert capacity == (2 * 2 - 1, 2 * 2 - 1)

@@ -48,12 +48,27 @@ RECOVERY_HORIZON = 40_000.0
 # replication lag — and the failover's unacked-suffix replay — is
 # nonzero anyway. ``read_consistency`` rides along to exercise the GC's
 # eventual first-pass scan under crash + failover recovery.
+#
+# The legacy variants pin ``async_io``/``batch_log_writes`` **off** so
+# they keep sweeping exactly the PR 3 code paths; ``fastpath-on-async``
+# turns every optimization on at the deepest topology (sharded,
+# replicated, leader crashes, eventual reads) — overlapped commit
+# fan-outs, batched GC deletions and all — and must be just as
+# exactly-once, atomic, and residue-free at every point.
 FLAG_SETTINGS = {
-    "fastpath-on": dict(tail_cache=True, batch_reads=True),
-    "fastpath-off": dict(tail_cache=False, batch_reads=False),
+    "fastpath-on": dict(tail_cache=True, batch_reads=True,
+                        async_io=False, batch_log_writes=False),
+    "fastpath-off": dict(tail_cache=False, batch_reads=False,
+                         async_io=False, batch_log_writes=False),
     "fastpath-on-shards2": dict(tail_cache=True, batch_reads=True,
+                                async_io=False, batch_log_writes=False,
                                 shards=2),
     "fastpath-on-repl3": dict(tail_cache=True, batch_reads=True,
+                              async_io=False, batch_log_writes=False,
+                              shards=2, replicas=3, leader_crash=0.02,
+                              read_consistency="eventual"),
+    "fastpath-on-async": dict(tail_cache=True, batch_reads=True,
+                              async_io=True, batch_log_writes=True,
                               shards=2, replicas=3, leader_crash=0.02,
                               read_consistency="eventual"),
 }

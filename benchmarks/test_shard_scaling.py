@@ -10,6 +10,7 @@ bounded, partitioning the DAAL tables across 4 nodes carries at least
 
 from __future__ import annotations
 
+import pytest
 from conftest import emit
 
 from repro.bench.fig_shard_scaling import (
@@ -56,3 +57,13 @@ def test_shard_scaling():
     total = sum(row["dollars"] for row in rows)
     per_op = total / by_shards[4]["completed"]
     assert per_op >= by_shards[4]["dollars_per_op"]  # includes seeding
+
+    # Load-imbalance columns: shares sum to one and the skew summary is
+    # consistent with them (uniform per-user keys stay mildly skewed —
+    # this is the benign baseline the elasticity gate contrasts with).
+    assert sum(row["share"] for row in rows) == pytest.approx(1.0)
+    skew = by_shards[4]["imbalance"]
+    assert skew["max_mean"] == pytest.approx(
+        max(row["share"] for row in rows) * len(rows))
+    assert 0.0 <= skew["gini"] < 0.5
+    assert skew["max_mean"] < 2.0

@@ -19,7 +19,12 @@ request metering, same books as the §7.3 cost analysis.
 
 from __future__ import annotations
 
-from repro.bench.reporting import format_table, per_shard_rows, per_shard_table
+from repro.bench.reporting import (
+    format_table,
+    load_imbalance,
+    per_shard_rows,
+    per_shard_table,
+)
 from repro.core import BeldiConfig, BeldiRuntime
 from repro.platform import PlatformConfig
 from repro.workload import run_closed_loop
@@ -32,11 +37,14 @@ SHARD_CAPACITY = 2  # servers per store node
 
 def build_runtime(n_shards: int, n_users: int, seed: int,
                   capacity: int) -> BeldiRuntime:
+    # elastic=False: this figure measures *static* consistent-hash
+    # placement under uniform per-user keys — the baseline the
+    # elasticity figure (fig_elasticity) is judged against.
     runtime = BeldiRuntime(
         seed=seed, latency_scale=1.0,
         config=BeldiConfig(gc_t=1e12),
         platform_config=PlatformConfig(concurrency_limit=400),
-        shards=n_shards, shard_capacity=capacity)
+        shards=n_shards, shard_capacity=capacity, elastic=False)
 
     def profile(ctx, payload):
         uid = payload["user"]
@@ -79,6 +87,7 @@ def run_shard_point(n_shards: int, n_users: int = N_USERS,
         "keys_per_shard": per_shard,
         "per_shard": per_shard_rows(store, "profile.profiles"),
     }
+    point["imbalance"] = load_imbalance(point["per_shard"])
     runtime.kernel.shutdown()
     return point
 

@@ -55,15 +55,47 @@ def per_shard_rows(store, table: Optional[str] = None) -> list[dict]:
                             for rec in meter.ops.values()),
             "dollars": meter.dollar_cost(),
         })
+    total_requests = sum(row["requests"] for row in rows)
+    for row in rows:
+        row["share"] = (row["requests"] / total_requests
+                        if total_requests else 0.0)
     return rows
 
 
+def load_imbalance(rows: Iterable[dict]) -> dict:
+    """Skew summary over :func:`per_shard_rows` output.
+
+    ``max_mean`` is the hottest shard's request count over the mean
+    (1.0 = perfectly balanced; the hot-shard detector's trigger
+    statistic), ``gini`` the Gini coefficient of the per-shard request
+    distribution (0 = equal, -> 1 = one shard serves everything).
+    """
+    counts = sorted(row["requests"] for row in rows)
+    n = len(counts)
+    total = sum(counts)
+    if n == 0 or total == 0:
+        return {"max_mean": 0.0, "gini": 0.0}
+    mean = total / n
+    # Gini via the sorted-rank identity: G = (2*sum(i*x_i)/ (n*sum x))
+    # - (n+1)/n, with i = 1-based rank in ascending order.
+    weighted = sum(rank * count
+                   for rank, count in enumerate(counts, start=1))
+    gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n
+    return {"max_mean": max(counts) / mean, "gini": max(0.0, gini)}
+
+
 def per_shard_table(title: str, rows: Iterable[dict]) -> str:
-    """Render :func:`per_shard_rows` output as a metering dashboard."""
+    """Render :func:`per_shard_rows` output as a metering dashboard.
+
+    The ``share`` column is each shard's fraction of all requests, and
+    the footer line summarizes the skew (:func:`load_imbalance`):
+    max/mean request share and the Gini coefficient.
+    """
     rows = list(rows)
     with_items = any(row.get("items") is not None for row in rows)
     columns = ["shard"] + (["items"] if with_items else []) + [
-        "requests", "read units", "write units", "eventual", "$"]
+        "requests", "share", "read units", "write units", "eventual",
+        "$"]
     table_rows = []
     for row in rows:
         cells = [row["shard"]]
@@ -71,13 +103,17 @@ def per_shard_table(title: str, rows: Iterable[dict]) -> str:
             cells.append(row["items"])
         cells.extend([
             row["requests"],
+            f"{row.get('share', 0.0):.2f}",
             round(row["read_units"], 1),
             round(row["write_units"], 1),
             row["eventual"],
             f"{row['dollars']:.2e}",
         ])
         table_rows.append(cells)
-    return format_table(title, columns, table_rows)
+    skew = load_imbalance(rows)
+    return (format_table(title, columns, table_rows)
+            + f"\nimbalance: max/mean={skew['max_mean']:.2f}  "
+              f"gini={skew['gini']:.2f}")
 
 
 def _fmt(cell: Any) -> str:

@@ -79,6 +79,29 @@ class BeldiConfig:
         batched: ``BatchWriteItem`` has no conditions, and those
         conditions are what replay determinism rests on. Off reproduces
         the one-write-per-row behavior exactly.
+    elastic:
+        Hot-shard elasticity (``docs/sharding.md``): on a sharded store
+        the runtime tracks per-key heat and per-shard routed-op counts,
+        and when one shard's share of the observation window exceeds
+        ``elastic_load_ratio`` times the mean, live-migrates the hottest
+        DAAL chains (with their shadow twins) to underloaded shards via
+        :class:`~repro.kvstore.rebalance.ChainMigrator`, installing
+        forwarding entries in the hash ring. Below the trigger the
+        detector is pure counter arithmetic — no randomness, latency,
+        or store traffic — so a balanced (or single-shard, or
+        sub-``elastic_min_window``) workload reproduces the static
+        placement bit-for-bit (pinned by
+        ``tests/core/test_elasticity_flags.py``).
+    elastic_check_every / elastic_min_window / elastic_load_ratio /
+    elastic_max_moves / elastic_tolerance:
+        Detector tuning: evaluate every N logged operations; only act
+        on windows of at least ``elastic_min_window`` routed store ops
+        (small workloads never trigger); trigger when the hottest
+        shard exceeds ``elastic_load_ratio`` x the mean shard load;
+        move at most ``elastic_max_moves`` chains per rebalance;
+        ``elastic_tolerance`` is the residual per-shard overload
+        :meth:`~repro.kvstore.HashRing.plan_rebalance` accepts rather
+        than keep moving chains.
     """
 
     row_log_capacity: int = 8
@@ -94,3 +117,9 @@ class BeldiConfig:
     read_consistency: str = "strong"
     async_io: bool = True
     batch_log_writes: bool = True
+    elastic: bool = True
+    elastic_check_every: int = 64
+    elastic_min_window: int = 2500
+    elastic_load_ratio: float = 1.5
+    elastic_max_moves: int = 8
+    elastic_tolerance: float = 0.2

@@ -67,6 +67,14 @@ class BeldiContext:
     def next_step(self) -> int:
         step = self._step
         self._step += 1
+        # Hot-shard elasticity heartbeat: every logged operation gives
+        # the detector one (pure-python) tick; when skew crosses its
+        # threshold the triggering invocation runs the chain migration
+        # inline — with this invocation's crash points, so the sweep
+        # covers crashes inside the move.
+        elasticity = getattr(self.runtime, "elasticity", None)
+        if elasticity is not None:
+            elasticity.tick(self.platform_ctx)
         return step
 
     def fresh_row_id(self) -> str:

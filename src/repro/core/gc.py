@@ -126,7 +126,19 @@ def make_garbage_collector(runtime, env: BeldiEnv):
         batch_writes = getattr(runtime.config, "batch_log_writes", False)
         stats = {"stamped": 0, "recycled_intents": 0, "log_entries": 0,
                  "pruned_entries": 0, "disconnected": 0, "deleted_rows": 0,
-                 "shadow_chains": 0, "locksets": 0}
+                 "shadow_chains": 0, "locksets": 0, "migrations": 0}
+
+        # Phase 0 (elastic stores only): a chain migration whose worker
+        # crashed left a durable record mid-phase — roll it back (the
+        # source stayed authoritative) or forward (routing already
+        # flipped) before collecting anything, so the chain walk below
+        # never meets a half-moved item. Live moves (still latched) are
+        # left alone.
+        elasticity = getattr(runtime, "elasticity", None)
+        if elasticity is not None:
+            from repro.kvstore.rebalance import recover_stale_migrations
+            stats["migrations"] = recover_stale_migrations(
+                store, elasticity.migrator)
 
         # Phases 1-2: stamp finish times; find recyclable intents. The
         # first-pass scan is classification only, so it may run at the

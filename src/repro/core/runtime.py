@@ -81,7 +81,8 @@ class BeldiRuntime:
                  replication_lag_scale: float = 1.0,
                  store_faults: Optional[FaultPolicy] = None,
                  async_io: Optional[bool] = None,
-                 batch_log_writes: Optional[bool] = None) -> None:
+                 batch_log_writes: Optional[bool] = None,
+                 elastic: Optional[bool] = None) -> None:
         """``shards > 1`` partitions storage across that many simulated
         store nodes behind a :class:`~repro.kvstore.ShardedStore` — each
         node with its own latency stream, fault domain, metering, and
@@ -115,6 +116,14 @@ class BeldiRuntime:
         store round trips and coalesced idempotent log writes. With both
         ``False`` the runtime reproduces the sequential-I/O behavior
         bit-for-bit (pinned by ``tests/core/test_async_io_flags.py``).
+
+        ``elastic`` overrides :attr:`BeldiConfig.elastic` (default *on*):
+        on a multi-shard store the runtime watches per-shard load and
+        live-migrates hot DAAL chains between shards when skew exceeds
+        the configured load ratio (``docs/sharding.md``). Single-shard
+        runtimes have nothing to balance; and below the detector's
+        trigger thresholds an elastic runtime is bit-for-bit the static
+        one (pinned by ``tests/core/test_elasticity_flags.py``).
         """
         self.kernel = kernel or SimKernel(seed=seed)
         self.rand = RandomSource(seed, "beldi")
@@ -130,6 +139,8 @@ class BeldiRuntime:
             overrides["async_io"] = bool(async_io)
         if batch_log_writes is not None:
             overrides["batch_log_writes"] = bool(batch_log_writes)
+        if elastic is not None:
+            overrides["elastic"] = bool(elastic)
         if overrides:
             # Copy before overriding: the caller may share one config
             # across runtimes, and the overrides are per-runtime.
@@ -184,6 +195,26 @@ class BeldiRuntime:
                 time_source=KernelTimeSource(self.kernel),
                 latency=latency, rand=self.rand.child("store"),
                 capacity=shard_capacity, faults=store_faults)
+        #: Hot-shard elasticity (docs/sharding.md): a detector+migrator
+        #: pair on multi-shard stores. ``None`` when the flag is off or
+        #: there is nothing to balance — every elastic hook then costs
+        #: one attribute check.
+        self.elasticity = None
+        if (self.config.elastic
+                and isinstance(self.store, ShardedStore)
+                and self.store.n_shards > 1):
+            from repro.kvstore.rebalance import (ChainMigrator,
+                                                 ElasticityController)
+            migrator = ChainMigrator(self.store,
+                                     async_io=self.config.async_io,
+                                     on_moved=self._chain_moved)
+            self.elasticity = ElasticityController(
+                self.store, migrator,
+                check_every=self.config.elastic_check_every,
+                min_window=self.config.elastic_min_window,
+                load_ratio=self.config.elastic_load_ratio,
+                max_moves=self.config.elastic_max_moves,
+                tolerance=self.config.elastic_tolerance)
         self.platform = platform or ServerlessPlatform(
             self.kernel, rand=self.rand.child("platform"),
             latency=latency, config=platform_config)
@@ -205,6 +236,18 @@ class BeldiRuntime:
     # -- identities ----------------------------------------------------------
     def fresh_uuid(self) -> str:
         return self._ids.uuid()
+
+    # -- elasticity ------------------------------------------------------------
+    def _chain_moved(self, table: str, key: Any) -> None:
+        """A chain migrated between shards: drop its remembered tail.
+
+        The cached row ids themselves stay valid (the copy is verbatim
+        and routing follows the forward), but a moved chain starts cold
+        on purpose — the next operation re-validates placement through a
+        full probe rather than trusting memory across a reshard.
+        """
+        if self.config.tail_cache:
+            self.tail_cache.note_migrated(table, key)
 
     # -- registration ----------------------------------------------------------
     def create_env(self, name: str, tables: Iterable[str] = (),

@@ -158,6 +158,18 @@ class TailCache:
         if entry is not None and entry.row_id == row_id:
             del self._tails[cache_key]
 
+    def note_migrated(self, table: str, key: Any) -> None:
+        """The item's chain moved to another shard: start cold.
+
+        Row ids survive a migration verbatim (and routing follows the
+        ring's forwarding entry), so the entry is not *wrong* — but a
+        reshard is exactly when placement memory should be re-proven,
+        so the tail is dropped without counting a fallback. Position
+        entries stay: they name rows, not placements, and a position
+        miss would otherwise falsely read as "never executed".
+        """
+        self._tails.pop((table, _hashable(key)), None)
+
     # -- positions -------------------------------------------------------------
     def position_of(self, table: str, key: Any,
                     log_key: str) -> Optional[str]:

@@ -66,6 +66,13 @@ from repro.kvstore.expressions import (
 from repro.kvstore.asyncio import OverlapScope, overlap
 from repro.kvstore.item import item_size
 from repro.kvstore.metering import Metering
+from repro.kvstore.rebalance import (
+    ChainMigrator,
+    ElasticityController,
+    MigrationStats,
+    placement_residue,
+    recover_stale_migrations,
+)
 from repro.kvstore.replication import (
     ReadConsistency,
     ReplicaGroup,
@@ -91,11 +98,13 @@ from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
 __all__ = [
     "Add", "And", "AttrExists", "AttrNotExists", "BatchGetResult",
     "BatchWriteResult", "BeginsWith", "Between",
-    "ConditionFailed", "Contains", "Delete", "Eq", "Ge", "Gt", "HashRing",
+    "ChainMigrator",
+    "ConditionFailed", "Contains", "Delete", "ElasticityController",
+    "Eq", "Ge", "Gt", "HashRing",
     "IfNotExists",
     "In", "ItemTooLarge", "KVStore", "KVStoreError", "KernelTimeSource",
     "KeySchema", "Le", "ListAppend", "Lt", "MAX_BATCH_WRITE_ITEMS",
-    "Metering", "Minus", "Ne", "Not",
+    "Metering", "MigrationStats", "Minus", "Ne", "Not",
     "NullTimeSource", "Or", "OverlapScope", "Path", "PathRef", "Plus",
     "QueryResult",
     "ReadConsistency", "Remove", "ReplicaGroup", "ReplicatedStore",
@@ -105,5 +114,5 @@ __all__ = [
     "SizeLt", "Table", "TableExists", "TableNotFound", "ThrottledError",
     "TransactDelete", "TransactPut", "TransactUpdate", "TransactionCanceled",
     "Value", "batch_get_all", "batch_write_all", "item_size", "overlap",
-    "path",
+    "path", "placement_residue", "recover_stale_migrations",
 ]

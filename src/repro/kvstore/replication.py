@@ -285,6 +285,21 @@ class ReplicaGroup:
     def shard_id(self) -> Optional[int]:
         return self.leader.shard_id
 
+    @property
+    def queue(self):
+        """The leader's service-capacity queue (or ``None``).
+
+        Writes and strong reads all funnel through the leader, so its
+        queue backlog is the group's saturation signal — what the
+        hot-shard detector (:mod:`repro.kvstore.rebalance`) samples.
+        When a chain migrates between groups, the whole group moves as
+        a unit: the copy commits on the target's leader and reaches its
+        followers through the ordinary replication log, the source's
+        deletes ship as tombstones, and this queue simply stops seeing
+        the item's traffic.
+        """
+        return self.leader.queue
+
     # -- node-protocol plumbing used by ShardedStore ---------------------------
     @property
     def _tables(self) -> dict[str, Table]:

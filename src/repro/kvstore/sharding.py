@@ -75,6 +75,12 @@ Invariants this layer must uphold (see ``docs/architecture.md``):
   latency.
 - **Per-shard fault/latency/metering domains stay independent** — one
   node's throttle or saturation never alters a sibling's draws.
+- **Placement follows routing, always.** Every row lives on exactly the
+  node the (weight- and forward-aware) ring maps its partition key to;
+  live chain migration (:mod:`repro.kvstore.rebalance`) may *move* that
+  mapping, but never leaves a row behind it —
+  ``placement_residue(store)`` is empty at every crash point of the
+  sweep.
 """
 
 from __future__ import annotations
@@ -110,6 +116,11 @@ from repro.kvstore.table import (
 
 _SHARD_TOKEN = "__shard__"
 
+#: Backoff while an operation waits out a live chain migration (virtual
+#: ms). Small against any store round trip; the stall an operation can
+#: observe is the migration's own duration, not this granularity.
+_LATCH_WAIT_MS = 1.0
+
 
 class HashRing:
     """Consistent hashing over shard indexes with virtual nodes.
@@ -117,18 +128,59 @@ class HashRing:
     ``replicas`` virtual points per shard smooth the key distribution;
     MD5 keeps placement stable across processes and Python versions
     (``hash()`` is salted per process and would reshard every run).
+
+    Two elasticity mechanisms sit on top of the pure hash placement:
+
+    **Weights.** Each shard carries a weight scaling its virtual-node
+    count (``round(replicas * weight)``). A shard's vnode labels are a
+    stable prefix sequence (``shard-i#0..k``), so re-weighting one shard
+    only adds or removes *that shard's* points: keys move to it (weight
+    up) or from it (weight down), never between two other shards.
+
+    **Forwarding entries.** ``set_forward(token, shard)`` pins one route
+    token to an explicit owner, overriding the hash placement — the
+    in-memory face of a committed chain migration
+    (:mod:`repro.kvstore.rebalance` keeps the durable twin). Lookups
+    check forwards first; :meth:`hash_shard_of` exposes the underlying
+    hash owner for rollback decisions.
     """
 
-    def __init__(self, n_shards: int, replicas: int = 64) -> None:
+    def __init__(self, n_shards: int, replicas: int = 64,
+                 weights: Optional[Sequence[float]] = None) -> None:
         if n_shards <= 0:
             raise ValueError(f"need at least one shard, got {n_shards}")
         self.n_shards = n_shards
         self.replicas = replicas
+        if weights is None:
+            weights = [1.0] * n_shards
+        if len(weights) != n_shards:
+            raise ValueError(
+                f"{n_shards} shards need {n_shards} weights, "
+                f"got {len(weights)}")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        self._weights = list(weights)
+        #: token -> shard overrides (committed migrations).
+        self._forwards: dict[str, int] = {}
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        #: token -> hash owner memo; placement is deterministic for a
+        #: given point set, so this only ever invalidates on re-weight.
+        #: It also keeps the elasticity hooks cheap: heat tracking and
+        #: the op's own routing resolve the same token back-to-back,
+        #: and the second lookup must not pay a second MD5 digest.
+        self._memo: dict[str, int] = {}
         points = []
-        for shard in range(n_shards):
-            for replica in range(replicas):
+        for shard in range(self.n_shards):
+            count = int(round(self.replicas * self._weights[shard]))
+            if self._weights[shard] > 0:
+                count = max(1, count)
+            for replica in range(count):
                 points.append((self._digest(f"shard-{shard}#{replica}"),
                                shard))
+        if not points:
+            raise ValueError("at least one shard needs a positive weight")
         points.sort()
         self._points = [p[0] for p in points]
         self._owners = [p[1] for p in points]
@@ -138,12 +190,140 @@ class HashRing:
         return int.from_bytes(
             hashlib.md5(token.encode("utf-8")).digest()[:8], "big")
 
+    # -- weights ---------------------------------------------------------------
+    @property
+    def weights(self) -> list[float]:
+        return list(self._weights)
+
+    def set_weight(self, shard: int, weight: float) -> None:
+        """Re-weight one shard's share of the ring.
+
+        Only that shard's virtual points change, so keys move to it
+        (weight up) or off it (weight down) — never between two other
+        shards (property-tested in ``tests/kvstore/test_sharding.py``).
+        """
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"no shard {shard} in a "
+                             f"{self.n_shards}-shard ring")
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        self._weights[shard] = weight
+        self._rebuild()
+
+    # -- forwarding ------------------------------------------------------------
+    @property
+    def forwards(self) -> dict[str, int]:
+        """Token -> shard overrides currently installed (a copy)."""
+        return dict(self._forwards)
+
+    def set_forward(self, token: str, shard: int) -> None:
+        """Pin ``token`` to ``shard``, overriding hash placement."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"no shard {shard} in a "
+                             f"{self.n_shards}-shard ring")
+        if shard == self.hash_shard_of(token):
+            # A forward to the hash owner is a no-op entry; keep the
+            # overlay minimal so balanced states need no bookkeeping.
+            self._forwards.pop(token, None)
+        else:
+            self._forwards[token] = shard
+
+    def clear_forward(self, token: str) -> None:
+        self._forwards.pop(token, None)
+
+    def hash_shard_of(self, token: str) -> int:
+        """The pure consistent-hash owner, ignoring forwards."""
+        owner = self._memo.get(token)
+        if owner is None:
+            position = bisect_right(self._points, self._digest(token))
+            if position == len(self._points):
+                position = 0
+            owner = self._owners[position]
+            if len(self._memo) >= 65_536:
+                # Tokens include instance-keyed log rows, an unbounded
+                # population; the memo is a pure cache, so dropping it
+                # wholesale is always sound.
+                self._memo.clear()
+            self._memo[token] = owner
+        return owner
+
     def shard_of(self, token: str) -> int:
-        """The shard owning ``token`` (first point clockwise)."""
-        position = bisect_right(self._points, self._digest(token))
-        if position == len(self._points):
-            position = 0
-        return self._owners[position]
+        """The shard owning ``token`` (forwards first, then the ring)."""
+        forwarded = self._forwards.get(token)
+        if forwarded is not None:
+            return forwarded
+        return self.hash_shard_of(token)
+
+    # -- rebalancing -----------------------------------------------------------
+    def plan_rebalance(self, loads, tolerance: float = 0.2,
+                       max_moves: Optional[int] = None) -> list[tuple]:
+        """Minimal token moves that bring observed load inside tolerance.
+
+        ``loads`` maps route tokens to non-negative observed load (op
+        counts, queue samples — any additive measure). The plan is a
+        list of ``(token, source_shard, target_shard)`` moves, greedy
+        largest-first: while some shard carries more than
+        ``mean * (1 + tolerance)``, move its heaviest token that (a)
+        strictly narrows the donor/recipient gap and (b) does not push
+        the recipient itself past tolerance. Both guards make the plan
+        *convergent*: applying every move and re-planning from the
+        resulting placement yields the empty plan, and a balanced load
+        yields the empty plan outright (property-tested).
+
+        The plan is advisory routing arithmetic only — executing it
+        (copying chains, installing forwards) is the
+        :class:`~repro.kvstore.rebalance.ChainMigrator`'s job.
+        """
+        n = self.n_shards
+        if n < 2 or not loads:
+            return []
+        shard_load = [0.0] * n
+        by_shard: dict[int, list] = {shard: [] for shard in range(n)}
+        for token in sorted(loads):
+            load = loads[token]
+            if load < 0:
+                raise ValueError(f"negative load for token {token!r}")
+            shard = self.shard_of(token)
+            shard_load[shard] += load
+            by_shard[shard].append(token)
+        total = sum(shard_load)
+        if total <= 0:
+            return []
+        mean = total / n
+        bound = mean * (1.0 + tolerance)
+        # Heaviest-first candidate order per shard; stable by token so
+        # the plan is deterministic for a given load map.
+        for shard in range(n):
+            by_shard[shard].sort(key=lambda t: (-loads[t], t))
+        moves: list[tuple] = []
+        moved: set = set()
+        for _ in range(len(loads) + 1):
+            donor = max(range(n), key=lambda s: (shard_load[s], -s))
+            recipient = min(range(n), key=lambda s: (shard_load[s], s))
+            if shard_load[donor] <= bound:
+                break
+            gap = shard_load[donor] - shard_load[recipient]
+            candidate = None
+            for token in by_shard[donor]:
+                if token in moved:
+                    continue
+                load = loads[token]
+                if load <= 0 or load >= gap:
+                    continue
+                if shard_load[recipient] + load > bound:
+                    continue
+                candidate = token
+                break
+            if candidate is None:
+                break  # nothing productive left (e.g. one mega-token)
+            moves.append((candidate, donor, recipient))
+            moved.add(candidate)  # moved tokens are final this plan
+            by_shard[donor].remove(candidate)
+            shard_load[donor] -= loads[candidate]
+            shard_load[recipient] += loads[candidate]
+            if max_moves is not None and len(moves) >= max_moves:
+                break
+        return moves
 
 
 class ShardedTableView:
@@ -240,6 +420,26 @@ class ShardedStore:
         self.async_io = async_io
         self._schemas: dict[str, KeySchema] = {}
         self._views: dict[str, ShardedTableView] = {}
+        # -- elasticity bookkeeping (dormant until enable_elasticity) --
+        #: Per-(table, partition key) routed-op counts — the observed
+        #: load the hot-shard detector plans against. ``None`` disables
+        #: every elasticity hook at a single attribute check.
+        self.heat = None
+        #: Routed ops per shard since construction (windowed by the
+        #: detector via snapshots).
+        self.shard_ops: list[int] = []
+        #: Route tokens with a live migration: inline operations wait
+        #: here instead of racing the copy.
+        self._latched: set = set()
+        #: Tables with a live migration (gates whole-table fan-outs).
+        self._migrating_tables: dict[str, int] = {}
+        #: In-flight inline operations per route token / per table —
+        #: what a migration drains before touching rows. Operations
+        #: issued inside an overlap scope are exempt: a scope body is
+        #: atomic in virtual time, so its mutations land entirely
+        #: before or after the (equally atomic) copy instant.
+        self._inflight: dict = {}
+        self._table_inflight: dict[str, int] = {}
 
     @property
     def n_shards(self) -> int:
@@ -249,24 +449,137 @@ class ShardedStore:
     def _route_token(self, table: str, partition_value: Any) -> str:
         return f"{table}|{partition_value!r}"
 
+    def _partition_value(self, table: str, key: Any) -> Any:
+        schema = self._schemas.get(table)
+        if schema is None:
+            raise TableNotFound(f"no table named {table!r}")
+        if isinstance(key, dict):
+            return key[schema.hash_key]
+        if isinstance(key, tuple):
+            return key[0]
+        return key
+
     def shard_for(self, table: str, key: Any) -> int:
         """The shard index owning ``(table, key)``; key may be a scalar
         partition value (even for a ranged table), a (hash, range)
         tuple, or an item dict — only the partition component routes, so
         one item's whole chain co-locates."""
-        schema = self._schemas.get(table)
-        if schema is None:
-            raise TableNotFound(f"no table named {table!r}")
-        if isinstance(key, dict):
-            partition_value = key[schema.hash_key]
-        elif isinstance(key, tuple):
-            partition_value = key[0]
-        else:
-            partition_value = key
-        return self.ring.shard_of(self._route_token(table, partition_value))
+        return self.ring.shard_of(self._route_token(
+            table, self._partition_value(table, key)))
 
     def node_for(self, table: str, key: Any) -> KVStore:
         return self.nodes[self.shard_for(table, key)]
+
+    # -- elasticity hooks ------------------------------------------------------
+    def enable_elasticity(self) -> None:
+        """Start heat tracking and migration safety bookkeeping.
+
+        Idempotent. Until called, every hook below is a single ``is
+        None`` check, so a non-elastic store runs the exact pre-existing
+        code path (the pure-python counters themselves never draw
+        randomness or pay latency, so enabling tracking alone cannot
+        perturb a run's virtual timeline either).
+        """
+        if self.heat is None:
+            self.heat = {}
+            self.shard_ops = [0] * self.n_shards
+
+    def _await(self, ready) -> None:
+        """Wait (in virtual time) until ``ready()`` holds.
+
+        Only meaningful under a kernel: latches are held exclusively by
+        migrations running inside simulated processes, so a
+        non-process caller can never observe one.
+        """
+        while not ready():
+            self.nodes[0].time.sleep(_LATCH_WAIT_MS)
+
+    def _note_heat(self, table: str, partition_value: Any,
+                   shard: int) -> None:
+        self.shard_ops[shard] += 1
+        try:
+            self.heat[(table, partition_value)] = (
+                self.heat.get((table, partition_value), 0) + 1)
+        except TypeError:
+            pass  # unhashable partition value: never a migration unit
+
+    def _in_scope(self) -> bool:
+        # Cooperative scheduling: an overlap scope can only be active on
+        # the store's clocks while its *owning* process runs its (never
+        # yielding) scope body — so "a scope is attached" means "the
+        # current caller is inside one", and its mutations are atomic.
+        return self.nodes[0].time._ov_scope is not None
+
+    def _enter_keys(self, table: str, keys) -> Optional[list]:
+        return self._enter_pairs([(table, key) for key in keys])
+
+    def _enter_pairs(self, pairs) -> Optional[list]:
+        """Register inline in-flight operations on the pairs' tokens.
+
+        ``pairs`` is ``(table, key)`` tuples — one call covers every
+        token an operation touches (all tables of a transact group), so
+        there is never a wait while already holding a registration.
+        Waits out any live migration latch on the involved tokens first
+        (re-checking all of them after every wait, since a new latch can
+        appear while sleeping), then registers every token with no
+        intervening yield. Returns the token list for ``_exit_keys``, or
+        ``None`` when elasticity is off or the caller sits inside an
+        overlap scope (whose body is atomic in virtual time — it cannot
+        straddle a migration's copy instant).
+        """
+        if self.heat is None:
+            return None
+        tokens = []
+        seen = set()
+        for table, key in pairs:
+            value = self._partition_value(table, key)
+            token = self._route_token(table, value)
+            self._note_heat(table, value, self.ring.shard_of(token))
+            if token not in seen:
+                seen.add(token)
+                tokens.append(token)
+        if self._in_scope():
+            return None
+        if self._latched:
+            self._await(lambda: not any(t in self._latched
+                                        for t in tokens))
+        for token in tokens:
+            self._inflight[token] = self._inflight.get(token, 0) + 1
+        return tokens
+
+    def _exit_keys(self, tokens: Optional[list]) -> None:
+        if not tokens:
+            return
+        for token in tokens:
+            remaining = self._inflight.get(token, 0) - 1
+            if remaining > 0:
+                self._inflight[token] = remaining
+            else:
+                self._inflight.pop(token, None)
+
+    def _enter_table(self, table: str) -> Optional[str]:
+        """The whole-table twin of ``_enter_keys`` for scans/index
+        fan-outs: waits out migrations touching ``table``, then counts
+        the fan-out in flight so a migration drains it before copying."""
+        if self.heat is None:
+            return None
+        if self._in_scope():
+            return None
+        if self._migrating_tables:
+            self._await(
+                lambda: self._migrating_tables.get(table, 0) == 0)
+        self._table_inflight[table] = (
+            self._table_inflight.get(table, 0) + 1)
+        return table
+
+    def _exit_table(self, table: Optional[str]) -> None:
+        if table is None:
+            return
+        remaining = self._table_inflight.get(table, 0) - 1
+        if remaining > 0:
+            self._table_inflight[table] = remaining
+        else:
+            self._table_inflight.pop(table, None)
 
     # -- table management ------------------------------------------------------
     def create_table(self, name: str, hash_key: str,
@@ -309,28 +622,54 @@ class ShardedStore:
     def get(self, table: str, key: Any,
             projection: Optional[Projection] = None,
             consistency: Optional[str] = None) -> Optional[dict]:
-        return self.node_for(table, key).get(table, key,
-                                             projection=projection,
-                                             consistency=consistency)
+        guard = self._enter_keys(table, (key,)) if (
+            self.heat is not None) else None
+        try:
+            return self.node_for(table, key).get(table, key,
+                                                 projection=projection,
+                                                 consistency=consistency)
+        finally:
+            self._exit_keys(guard)
 
     def put(self, table: str, item: dict,
             condition: Optional[Condition] = None) -> None:
-        self.node_for(table, item).put(table, item, condition=condition)
+        guard = self._enter_keys(table, (item,)) if (
+            self.heat is not None) else None
+        try:
+            self.node_for(table, item).put(table, item,
+                                           condition=condition)
+        finally:
+            self._exit_keys(guard)
 
     def update(self, table: str, key: Any, updates,
                condition: Optional[Condition] = None) -> dict:
-        return self.node_for(table, key).update(table, key, updates,
-                                                condition=condition)
+        guard = self._enter_keys(table, (key,)) if (
+            self.heat is not None) else None
+        try:
+            return self.node_for(table, key).update(table, key, updates,
+                                                    condition=condition)
+        finally:
+            self._exit_keys(guard)
 
     def delete(self, table: str, key: Any,
                condition: Optional[Condition] = None) -> Optional[dict]:
-        return self.node_for(table, key).delete(table, key,
-                                                condition=condition)
+        guard = self._enter_keys(table, (key,)) if (
+            self.heat is not None) else None
+        try:
+            return self.node_for(table, key).delete(table, key,
+                                                    condition=condition)
+        finally:
+            self._exit_keys(guard)
 
     def query(self, table: str, hash_value: Any, **kwargs) -> QueryResult:
         # One partition lives on exactly one shard — no fan-out.
-        return self.node_for(table, hash_value).query(table, hash_value,
-                                                      **kwargs)
+        guard = self._enter_keys(table, (hash_value,)) if (
+            self.heat is not None) else None
+        try:
+            return self.node_for(table, hash_value).query(
+                table, hash_value, **kwargs)
+        finally:
+            self._exit_keys(guard)
 
     # -- fan-out reads ----------------------------------------------------------
     def batch_get(self, table: str, keys: Sequence[Any],
@@ -346,36 +685,43 @@ class ShardedStore:
         """
         if not keys:
             return BatchGetResult()
-        by_shard: dict[int, list[int]] = {}
-        for index, key in enumerate(keys):
-            by_shard.setdefault(self.shard_for(table, key), []).append(index)
-        results: list[Optional[dict]] = [None] * len(keys)
-        unprocessed: list[int] = []
-        served_any = False
-        with overlap(self, enabled=self.async_io) as scope:
-            for shard in sorted(by_shard):
-                indexes = by_shard[shard]
-                try:
-                    with scope.branch():
-                        got = self.nodes[shard].batch_get(
-                            table, [keys[i] for i in indexes],
-                            projection=projection,
-                            consistency=consistency)
-                except ThrottledError:
-                    unprocessed.extend(indexes)
-                    continue
-                unserved = set(got.unprocessed_indexes)
-                for position, index in enumerate(indexes):
-                    if position in unserved:
-                        unprocessed.append(index)
-                    else:
-                        served_any = True
-                        results[index] = got[position]
-        if not served_any:
-            raise ThrottledError("db.batch_read throttled on every shard")
-        return BatchGetResult(results,
-                              unprocessed_indexes=sorted(unprocessed),
-                              keys=keys)
+        guard = self._enter_keys(table, keys) if (
+            self.heat is not None) else None
+        try:
+            by_shard: dict[int, list[int]] = {}
+            for index, key in enumerate(keys):
+                by_shard.setdefault(self.shard_for(table, key),
+                                    []).append(index)
+            results: list[Optional[dict]] = [None] * len(keys)
+            unprocessed: list[int] = []
+            served_any = False
+            with overlap(self, enabled=self.async_io) as scope:
+                for shard in sorted(by_shard):
+                    indexes = by_shard[shard]
+                    try:
+                        with scope.branch():
+                            got = self.nodes[shard].batch_get(
+                                table, [keys[i] for i in indexes],
+                                projection=projection,
+                                consistency=consistency)
+                    except ThrottledError:
+                        unprocessed.extend(indexes)
+                        continue
+                    unserved = set(got.unprocessed_indexes)
+                    for position, index in enumerate(indexes):
+                        if position in unserved:
+                            unprocessed.append(index)
+                        else:
+                            served_any = True
+                            results[index] = got[position]
+            if not served_any:
+                raise ThrottledError(
+                    "db.batch_read throttled on every shard")
+            return BatchGetResult(results,
+                                  unprocessed_indexes=sorted(unprocessed),
+                                  keys=keys)
+        finally:
+            self._exit_keys(guard)
 
     def batch_write(self, table: str, puts: Sequence[dict] = (),
                     deletes: Sequence[Any] = ()) -> BatchWriteResult:
@@ -396,36 +742,43 @@ class ShardedStore:
             raise ValueError(
                 f"batch_write accepts at most {MAX_BATCH_WRITE_ITEMS} "
                 f"items per request, got {total}")
-        puts_by_shard: dict[int, list[dict]] = {}
-        deletes_by_shard: dict[int, list[Any]] = {}
-        for item in puts:
-            puts_by_shard.setdefault(
-                self.shard_for(table, item), []).append(item)
-        for key in deletes:
-            deletes_by_shard.setdefault(
-                self.shard_for(table, key), []).append(key)
-        merged = BatchWriteResult()
-        applied_any = False
-        with overlap(self, enabled=self.async_io) as scope:
-            for shard in sorted(set(puts_by_shard) | set(deletes_by_shard)):
-                shard_puts = puts_by_shard.get(shard, [])
-                shard_deletes = deletes_by_shard.get(shard, [])
-                try:
-                    with scope.branch():
-                        result = self.nodes[shard].batch_write(
-                            table, shard_puts, shard_deletes)
-                except ThrottledError:
-                    merged.merge_from(BatchWriteResult(shard_puts,
-                                                       shard_deletes))
-                    continue
-                if (len(result.unprocessed_puts)
-                        + len(result.unprocessed_deletes)
-                        < len(shard_puts) + len(shard_deletes)):
-                    applied_any = True
-                merged.merge_from(result)
-        if not applied_any:
-            raise ThrottledError("db.batch_write throttled on every shard")
-        return merged
+        guard = self._enter_keys(table, puts + deletes) if (
+            self.heat is not None) else None
+        try:
+            puts_by_shard: dict[int, list[dict]] = {}
+            deletes_by_shard: dict[int, list[Any]] = {}
+            for item in puts:
+                puts_by_shard.setdefault(
+                    self.shard_for(table, item), []).append(item)
+            for key in deletes:
+                deletes_by_shard.setdefault(
+                    self.shard_for(table, key), []).append(key)
+            merged = BatchWriteResult()
+            applied_any = False
+            with overlap(self, enabled=self.async_io) as scope:
+                for shard in sorted(set(puts_by_shard)
+                                    | set(deletes_by_shard)):
+                    shard_puts = puts_by_shard.get(shard, [])
+                    shard_deletes = deletes_by_shard.get(shard, [])
+                    try:
+                        with scope.branch():
+                            result = self.nodes[shard].batch_write(
+                                table, shard_puts, shard_deletes)
+                    except ThrottledError:
+                        merged.merge_from(BatchWriteResult(shard_puts,
+                                                           shard_deletes))
+                        continue
+                    if (len(result.unprocessed_puts)
+                            + len(result.unprocessed_deletes)
+                            < len(shard_puts) + len(shard_deletes)):
+                        applied_any = True
+                    merged.merge_from(result)
+            if not applied_any:
+                raise ThrottledError(
+                    "db.batch_write throttled on every shard")
+            return merged
+        finally:
+            self._exit_keys(guard)
 
     def scan(self, table: str,
              filter_condition: Optional[Condition] = None,
@@ -451,30 +804,35 @@ class ShardedStore:
                     "sharded scan resumes only from a last_evaluated_key "
                     "it produced")
             _, start_shard, node_start = exclusive_start
-        items: list[dict] = []
-        scanned = 0
-        consumed = 0
-        for shard in range(start_shard, self.n_shards):
-            remaining = None if limit is None else limit - scanned
-            if remaining is not None and remaining <= 0:
-                return ScanResult(items,
-                                  (_SHARD_TOKEN, shard, None),
-                                  scanned, consumed)
-            result = self.nodes[shard].scan(
-                table, filter_condition=filter_condition,
-                projection=projection, limit=remaining,
-                exclusive_start=node_start if shard == start_shard
-                else None,
-                consistency=consistency)
-            items.extend(result.items)
-            scanned += result.scanned_count
-            consumed += result.consumed_bytes
-            if result.last_evaluated_key is not None:
-                return ScanResult(
-                    items,
-                    (_SHARD_TOKEN, shard, result.last_evaluated_key),
-                    scanned, consumed)
-        return ScanResult(items, None, scanned, consumed)
+        guard = self._enter_table(table) if (
+            self.heat is not None) else None
+        try:
+            items: list[dict] = []
+            scanned = 0
+            consumed = 0
+            for shard in range(start_shard, self.n_shards):
+                remaining = None if limit is None else limit - scanned
+                if remaining is not None and remaining <= 0:
+                    return ScanResult(items,
+                                      (_SHARD_TOKEN, shard, None),
+                                      scanned, consumed)
+                result = self.nodes[shard].scan(
+                    table, filter_condition=filter_condition,
+                    projection=projection, limit=remaining,
+                    exclusive_start=node_start if shard == start_shard
+                    else None,
+                    consistency=consistency)
+                items.extend(result.items)
+                scanned += result.scanned_count
+                consumed += result.consumed_bytes
+                if result.last_evaluated_key is not None:
+                    return ScanResult(
+                        items,
+                        (_SHARD_TOKEN, shard, result.last_evaluated_key),
+                        scanned, consumed)
+            return ScanResult(items, None, scanned, consumed)
+        finally:
+            self._exit_table(guard)
 
     def query_index(self, table: str, index_name: str, value: Any,
                     projection: Optional[Projection] = None,
@@ -507,11 +865,16 @@ class ShardedStore:
             if index_attr is not None:
                 extra.append(path(index_attr))
             fetch_projection = Projection(list(projection.paths) + extra)
-        items: list[dict] = []
-        for node in self.nodes:
-            items.extend(node.query_index(table, index_name, value,
-                                          projection=fetch_projection,
-                                          consistency=consistency))
+        guard = self._enter_table(table) if (
+            self.heat is not None) else None
+        try:
+            items: list[dict] = []
+            for node in self.nodes:
+                items.extend(node.query_index(table, index_name, value,
+                                              projection=fetch_projection,
+                                              consistency=consistency))
+        finally:
+            self._exit_table(guard)
         items.sort(key=lambda item: (
             _sort_token(item.get(index_attr) if index_attr else None),
             _sort_token_tuple(schema.extract(item))))
@@ -536,6 +899,18 @@ class ShardedStore:
         """
         if not ops:
             return
+        guard = None
+        if self.heat is not None:
+            guard = self._enter_pairs([
+                (op.table,
+                 op.item if isinstance(op, TransactPut) else op.key)
+                for op in ops])
+        try:
+            self._transact_write_routed(ops)
+        finally:
+            self._exit_keys(guard)
+
+    def _transact_write_routed(self, ops: Sequence[TransactOp]) -> None:
         groups: dict[int, list[TransactOp]] = {}
         for op in ops:
             key = op.item if isinstance(op, TransactPut) else op.key

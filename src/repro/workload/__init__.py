@@ -9,7 +9,13 @@ distributions (and time-bucketed series for the GC experiment), and the
 runner assembles rate sweeps like Figures 14/15/26.
 """
 
-from repro.workload.generator import LoadGenerator, LoadResult
+from repro.workload.generator import (
+    LoadGenerator,
+    LoadResult,
+    ZipfSampler,
+    skewed_keys,
+    zipf_weights,
+)
 from repro.workload.recorder import LatencyRecorder
 from repro.workload.runner import (
     ClosedLoopResult,
@@ -25,7 +31,10 @@ __all__ = [
     "LoadGenerator",
     "LoadResult",
     "SweepPoint",
+    "ZipfSampler",
     "run_closed_loop",
     "run_constant_load",
     "run_sweep",
+    "skewed_keys",
+    "zipf_weights",
 ]

@@ -49,28 +49,52 @@ RECOVERY_HORIZON = 40_000.0
 # nonzero anyway. ``read_consistency`` rides along to exercise the GC's
 # eventual first-pass scan under crash + failover recovery.
 #
-# The legacy variants pin ``async_io``/``batch_log_writes`` **off** so
-# they keep sweeping exactly the PR 3 code paths; ``fastpath-on-async``
-# turns every optimization on at the deepest topology (sharded,
-# replicated, leader crashes, eventual reads) — overlapped commit
-# fan-outs, batched GC deletions and all — and must be just as
-# exactly-once, atomic, and residue-free at every point.
+# The legacy variants pin ``async_io``/``batch_log_writes`` (and, since
+# the elasticity PR, ``elastic``) **off** so they keep sweeping exactly
+# the PR 3 code paths; ``fastpath-on-async`` turns the I/O optimizations
+# on at the deepest topology (sharded, replicated, leader crashes,
+# eventual reads) — overlapped commit fan-outs, batched GC deletions and
+# all — and must be just as exactly-once, atomic, and residue-free at
+# every point.
+#
+# ``fastpath-on-elastic`` additionally turns hot-shard elasticity on
+# with hair-trigger detector thresholds (any 16-op window over a 1.01
+# load ratio), which forces live chain migrations *mid-request* — the
+# recording run captures the migration protocol's own crash points
+# (``migrate:start/prepared/committed/done``) inside whatever SSF
+# invocation tripped the detector, and the sweep then crashes each of
+# them. Recovery is the durable migration record: the GC (or the next
+# attempt) rolls the move forward or back, and ``assert_store_clean``
+# additionally demands zero placement residue and no mid-phase records.
 FLAG_SETTINGS = {
     "fastpath-on": dict(tail_cache=True, batch_reads=True,
-                        async_io=False, batch_log_writes=False),
+                        async_io=False, batch_log_writes=False,
+                        elastic=False),
     "fastpath-off": dict(tail_cache=False, batch_reads=False,
-                         async_io=False, batch_log_writes=False),
+                         async_io=False, batch_log_writes=False,
+                         elastic=False),
     "fastpath-on-shards2": dict(tail_cache=True, batch_reads=True,
                                 async_io=False, batch_log_writes=False,
-                                shards=2),
+                                elastic=False, shards=2),
     "fastpath-on-repl3": dict(tail_cache=True, batch_reads=True,
                               async_io=False, batch_log_writes=False,
+                              elastic=False,
                               shards=2, replicas=3, leader_crash=0.02,
                               read_consistency="eventual"),
     "fastpath-on-async": dict(tail_cache=True, batch_reads=True,
                               async_io=True, batch_log_writes=True,
+                              elastic=False,
                               shards=2, replicas=3, leader_crash=0.02,
                               read_consistency="eventual"),
+    "fastpath-on-elastic": dict(tail_cache=True, batch_reads=True,
+                                async_io=True, batch_log_writes=True,
+                                elastic=True, elastic_check_every=2,
+                                elastic_min_window=8,
+                                elastic_load_ratio=1.01,
+                                elastic_max_moves=4,
+                                elastic_tolerance=0.0,
+                                shards=2, replicas=3, leader_crash=0.02,
+                                read_consistency="eventual"),
 }
 UNSHARDED_SETTINGS = [name for name, flags in FLAG_SETTINGS.items()
                       if "shards" not in flags]
@@ -253,6 +277,14 @@ def run_gc_passes(runtime, passes: int = 3) -> None:
 def assert_store_clean(runtime) -> None:
     """No residue: logs, intents, locksets, shadows, locks, entries."""
     store = runtime.store
+    if runtime.elasticity is not None:
+        from repro.kvstore.rebalance import (MIGRATIONS_TABLE,
+                                             placement_residue)
+        # Every migration record settled (rolled forward or back) and
+        # every row sits exactly where the forward-aware ring routes it.
+        for record in store.scan(MIGRATIONS_TABLE).items:
+            assert record["Phase"] == "done", record
+        assert placement_residue(store) == []
     for env in runtime.envs.values():
         assert store.item_count(env.intent_table) == 0, env.name
         assert store.item_count(env.read_log) == 0, env.name
@@ -277,6 +309,9 @@ def sweep(scenario_name: str, flags_name: str) -> None:
     assert baseline_result.get("ok"), "crash-free run must succeed"
     failures = []
     total_failovers = 0
+    total_migrations = 0
+    migration_points = sum(1 for _f, _i, tag in points
+                           if tag.startswith("migrate:"))
     for function, index, tag in points:
         runtime, app = scenario.build(flags)
         runtime.platform.crash_policy = CrashOnce(
@@ -294,6 +329,11 @@ def sweep(scenario_name: str, flags_name: str) -> None:
             if hasattr(runtime.store, "replication_stats"):
                 total_failovers += (
                     runtime.store.replication_stats.failovers)
+            if runtime.elasticity is not None:
+                stats = runtime.elasticity.migrator.stats
+                total_migrations += (stats.migrations
+                                     + stats.rolled_forward
+                                     + stats.rolled_back)
             runtime.kernel.shutdown()
     assert not failures, (
         f"{len(failures)}/{len(points)} crash points violated "
@@ -305,6 +345,16 @@ def sweep(scenario_name: str, flags_name: str) -> None:
         # crashed mid-workflow — across the whole sweep, many must.
         assert total_failovers > len(points), (
             f"only {total_failovers} leader failovers across "
+            f"{len(points)} swept runs")
+    if flags.get("elastic"):
+        # The elastic sweep is only meaningful if chains actually moved
+        # mid-request — the recording run must have reached the
+        # migration protocol's own crash points, and the swept re-runs
+        # must have performed (or recovered) migrations throughout.
+        assert migration_points >= 3, (
+            f"only {migration_points} migrate:* crash points recorded")
+        assert total_migrations > len(points), (
+            f"only {total_migrations} migrations across "
             f"{len(points)} swept runs")
 
 

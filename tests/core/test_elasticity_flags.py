@@ -1,0 +1,97 @@
+"""Pin: elasticity off — and *idle* elasticity — is PR 4, bit-for-bit.
+
+The golden numbers below — final virtual time and total request dollars
+of a travel reservation + search at calibrated latency, all PR 4 flags
+on — were recorded at the PR 4 head (commit ``88875b7``) *before* the
+elasticity layer landed. Two things must reproduce them to the last bit:
+
+- ``elastic=False``: every elasticity hook is dormant (no controller,
+  no heat books, no migration table);
+- ``elastic=True`` on this workload: the detector exists and counts,
+  but the workload sits far below ``elastic_min_window``, and below its
+  trigger the controller is pure python arithmetic — no randomness, no
+  latency, no store traffic. Default-on must not perturb a workload
+  with nothing to rebalance.
+
+The suite is fully deterministic (virtual time, seeded streams), so
+exact float equality is the right assertion — any drift means an
+elasticity behavior leaked past its trigger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.travel import TravelReservationApp
+from repro.core import BeldiConfig, BeldiRuntime
+
+SEED = 5
+
+#: (shards, replicas, read_consistency) -> (kernel.now, dollar_cost)
+#: recorded at the PR 4 head with this exact workload and seed.
+PR4_GOLDEN = {
+    (2, 1, None): (121918.72783863873, 9.425e-05),
+    (4, 1, None): (121937.1346635691, 9.575000000000001e-05),
+    (2, 3, "eventual"): (121917.47419790366, 9.412500000000001e-05),
+}
+
+
+def _run(shards, replicas, read_consistency, elastic):
+    runtime = BeldiRuntime(
+        seed=SEED, latency_scale=1.0,
+        config=BeldiConfig(gc_t=1e12),
+        shards=shards, replicas=replicas,
+        read_consistency=read_consistency, elastic=elastic)
+    app = TravelReservationApp(seed=SEED, n_hotels=2, n_flights=2,
+                               rooms_per_hotel=2, seats_per_flight=2,
+                               n_users=1)
+    app.register(runtime)
+    app.seed_data(runtime)
+    reserved = runtime.run_workflow(
+        "frontend", {"action": "reserve", "user": "user-0000",
+                     "hotel": "hotel-0000", "flight": "flight-0001"})
+    runtime.run_workflow("frontend", {"action": "search", "cell": 3})
+    meter = runtime.store.metering
+    out = (runtime.kernel.now, meter.dollar_cost(), runtime)
+    assert reserved.get("ok")
+    return out
+
+
+@pytest.mark.parametrize("topology", sorted(PR4_GOLDEN,
+                                            key=lambda t: (t[0], t[1])))
+def test_elastic_off_is_pr4_bit_for_bit(topology):
+    shards, replicas, consistency = topology
+    now, dollars, runtime = _run(shards, replicas, consistency,
+                                 elastic=False)
+    golden_now, golden_dollars = PR4_GOLDEN[topology]
+    assert now == golden_now
+    assert dollars == golden_dollars
+    # Off means *off*: no controller, no heat books, no meta table.
+    assert runtime.elasticity is None
+    assert runtime.store.heat is None
+    assert "__migrations__" not in runtime.store.table_names()
+    runtime.kernel.shutdown()
+
+
+@pytest.mark.parametrize("topology", sorted(PR4_GOLDEN,
+                                            key=lambda t: (t[0], t[1])))
+def test_elastic_on_below_trigger_is_pr4_bit_for_bit(topology):
+    shards, replicas, consistency = topology
+    now, dollars, runtime = _run(shards, replicas, consistency,
+                                 elastic=True)
+    golden_now, golden_dollars = PR4_GOLDEN[topology]
+    assert now == golden_now
+    assert dollars == golden_dollars
+    # The machinery is armed... but armed-and-idle changed nothing.
+    assert runtime.elasticity is not None
+    assert runtime.store.heat  # heat tracking did run
+    assert runtime.elasticity.rebalances == 0
+    assert runtime.elasticity.migrator.stats.migrations == 0
+    assert runtime.store.ring.forwards == {}
+    runtime.kernel.shutdown()
+
+
+def test_single_shard_has_no_controller():
+    runtime = BeldiRuntime(seed=SEED, shards=1, elastic=True)
+    assert runtime.elasticity is None
+    runtime.kernel.shutdown()

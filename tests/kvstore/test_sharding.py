@@ -154,6 +154,171 @@ class TestHashRingProperties:
         with pytest.raises(ValueError):
             HashRing(0)
 
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            HashRing(2, weights=[0.0, 0.0])
+        with pytest.raises(ValueError):
+            HashRing(2, weights=[1.0, -0.5])
+        with pytest.raises(ValueError):
+            HashRing(2, weights=[1.0])
+
+
+class TestWeightedRingProperties:
+    """Weighted vnodes: re-weighting is local; forwards override hash."""
+
+    @given(n_shards=st.integers(min_value=2, max_value=6),
+           replicas=st.sampled_from([32, 64]),
+           target=st.integers(min_value=0, max_value=5),
+           new_weight=st.sampled_from([0.0, 0.25, 0.5, 2.0, 4.0]))
+    @settings(**FAST)
+    def test_reweighting_only_moves_keys_to_or_from_that_node(
+            self, n_shards, replicas, target, new_weight):
+        """Changing one shard's weight never reshuffles a key between
+        two *other* shards: every moved key has the re-weighted shard
+        as its source (weight down) or destination (weight up)."""
+        target %= n_shards
+        before = HashRing(n_shards, replicas=replicas)
+        after = HashRing(n_shards, replicas=replicas)
+        after.set_weight(target, new_weight)
+        moved_to = moved_from = 0
+        for i in range(400):
+            token = f"data|key-{i:05d}"
+            old_owner = before.shard_of(token)
+            new_owner = after.shard_of(token)
+            if new_owner == old_owner:
+                continue
+            assert target in (old_owner, new_owner), (
+                f"{token} moved {old_owner}->{new_owner} although only "
+                f"shard {target} was re-weighted")
+            if new_owner == target:
+                moved_to += 1
+            else:
+                moved_from += 1
+        if new_weight > 1.0:
+            assert moved_from == 0
+        if new_weight < 1.0:
+            assert moved_to == 0
+
+    @given(n_shards=st.integers(min_value=2, max_value=6),
+           weights=st.lists(st.floats(min_value=0.25, max_value=4.0),
+                            min_size=2, max_size=6))
+    @settings(**FAST)
+    def test_weighted_share_tracks_weight(self, n_shards, weights):
+        """A shard's key share grows with its weight: the max-weighted
+        shard never ends up starved below an equal-weight share of a
+        large key population."""
+        weights = (weights * n_shards)[:n_shards]
+        ring = HashRing(n_shards, replicas=64, weights=weights)
+        loads = [0] * n_shards
+        for i in range(n_shards * 300):
+            loads[ring.shard_of(f"data|key-{i:05d}")] += 1
+        heaviest = max(range(n_shards), key=lambda s: weights[s])
+        if weights[heaviest] >= 2 * min(weights):
+            assert loads[heaviest] >= (n_shards * 300) / (2 * n_shards)
+
+    def test_forward_overrides_and_clears(self):
+        ring = HashRing(4)
+        token = "data|'k1'"
+        home = ring.shard_of(token)
+        other = (home + 1) % 4
+        ring.set_forward(token, other)
+        assert ring.shard_of(token) == other
+        assert ring.hash_shard_of(token) == home
+        assert ring.forwards == {token: other}
+        # Forwarding back to the hash owner removes the overlay entry.
+        ring.set_forward(token, home)
+        assert ring.forwards == {}
+        assert ring.shard_of(token) == home
+        ring.set_forward(token, other)
+        ring.clear_forward(token)
+        assert ring.shard_of(token) == home
+
+    def test_forward_rejects_unknown_shard(self):
+        ring = HashRing(2)
+        with pytest.raises(ValueError):
+            ring.set_forward("data|'x'", 5)
+
+
+def _apply_plan(ring: HashRing, plan) -> None:
+    for token, _source, target in plan:
+        ring.set_forward(token, target)
+
+
+class TestPlanRebalance:
+    """plan_rebalance: minimal, convergent, balanced-is-empty."""
+
+    @given(n_shards=st.integers(min_value=2, max_value=5),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(**FAST)
+    def test_balanced_load_plans_nothing(self, n_shards, seed):
+        """A load already equal across shards is inside any tolerance —
+        the plan must be empty (the 'second plan' half of convergence,
+        stated directly). Built by bucketing unit-load tokens per owner
+        and truncating every bucket to the same size."""
+        ring = HashRing(n_shards)
+        buckets = {shard: [] for shard in range(n_shards)}
+        for i in range(n_shards * 200):
+            token = f"data|key-{seed}-{i:04d}"
+            buckets[ring.shard_of(token)].append(token)
+        per_shard = min(len(bucket) for bucket in buckets.values())
+        assert per_shard > 0
+        loads = {token: 1.0 for bucket in buckets.values()
+                 for token in bucket[:per_shard]}
+        assert ring.plan_rebalance(loads, tolerance=0.2) == []
+        assert ring.plan_rebalance(loads, tolerance=0.0) == []
+
+    @given(n_shards=st.integers(min_value=2, max_value=5),
+           token_loads=st.lists(st.integers(min_value=1, max_value=40),
+                                min_size=12, max_size=60),
+           seed=st.integers(min_value=0, max_value=500))
+    @settings(**FAST)
+    def test_plan_converges_and_is_minimal(self, n_shards, token_loads,
+                                           seed):
+        """Applying the plan brings every move's effect to rest: the
+        re-planned state is empty (convergence / idempotence), every
+        move's source was over the tolerance bound at plan time, and
+        no token moves twice."""
+        ring = HashRing(n_shards)
+        loads = {f"data|key-{seed}-{i:04d}": float(load)
+                 for i, load in enumerate(token_loads)}
+        mean = sum(loads.values()) / n_shards
+        bound = mean * 1.2
+        shard_load = [0.0] * n_shards
+        for token, load in loads.items():
+            shard_load[ring.shard_of(token)] += load
+        plan = ring.plan_rebalance(loads, tolerance=0.2)
+        # Minimality: only overloaded shards donate, nothing moves
+        # twice, and every single move is productive at its time.
+        assert len({token for token, *_ in plan}) == len(plan)
+        donors = {source for _t, source, _r in plan}
+        for donor in donors:
+            assert shard_load[donor] > bound
+        _apply_plan(ring, plan)
+        assert ring.plan_rebalance(loads, tolerance=0.2) == []
+
+    def test_plan_respects_max_moves(self):
+        ring = HashRing(2)
+        # Find tokens all owned by one shard so it is overloaded.
+        hot = [f"data|key-{i:04d}" for i in range(400)
+               if ring.shard_of(f"data|key-{i:04d}") == 0][:20]
+        loads = {token: 5.0 for token in hot}
+        plan = ring.plan_rebalance(loads, tolerance=0.0, max_moves=3)
+        assert 0 < len(plan) <= 3
+
+    def test_mega_token_is_not_shuffled_around(self):
+        """A single token bigger than the donor/recipient gap cannot be
+        moved productively — the plan must leave it alone rather than
+        bounce the hotspot between shards."""
+        ring = HashRing(2)
+        token = "data|'whale'"
+        plan = ring.plan_rebalance({token: 1000.0}, tolerance=0.0)
+        assert plan == []
+
+    def test_negative_load_rejected(self):
+        ring = HashRing(2)
+        with pytest.raises(ValueError):
+            ring.plan_rebalance({"data|'a'": -1.0})
+
 
 class TestTableViews:
     def test_tables_exist_on_every_node(self, store):

@@ -5,7 +5,72 @@ import pytest
 from repro.core import BaselineRuntime, BeldiRuntime
 from repro.platform import PlatformConfig
 from repro.sim import RandomSource
-from repro.workload import LatencyRecorder, run_constant_load, run_sweep
+from repro.workload import (
+    LatencyRecorder,
+    ZipfSampler,
+    run_constant_load,
+    run_sweep,
+    skewed_keys,
+    zipf_weights,
+)
+
+
+class TestZipfSkew:
+    def test_same_seed_same_sequence(self):
+        """Determinism: the elasticity benchmark's static and elastic
+        runs must see the byte-identical request series."""
+        first = ZipfSampler(64, 1.1, RandomSource(7, "zipf"))
+        second = ZipfSampler(64, 1.1, RandomSource(7, "zipf"))
+        assert first.sequence(500) == second.sequence(500)
+
+    def test_different_seed_differs(self):
+        first = ZipfSampler(64, 1.1, RandomSource(7, "zipf"))
+        second = ZipfSampler(64, 1.1, RandomSource(8, "zipf"))
+        assert first.sequence(200) != second.sequence(200)
+
+    def test_weights_shape(self):
+        w = zipf_weights(100, 1.1)
+        assert len(w) == 100
+        assert abs(sum(w) - 1.0) < 1e-9
+        # Strictly decreasing by rank, and rank 0 carries the head.
+        assert all(a > b for a, b in zip(w, w[1:]))
+        assert w[0] == pytest.approx(2 ** 1.1 * w[1])
+
+    def test_s_zero_is_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert all(weight == pytest.approx(0.1) for weight in w)
+
+    def test_empirical_distribution_matches_theory(self):
+        """Distribution-shape sanity: over many draws, the hot rank's
+        empirical share lands near its theoretical weight and the
+        frequency ordering follows rank for the head of the curve."""
+        n, s = 64, 1.1
+        sampler = ZipfSampler(n, s, RandomSource(3, "zipf"))
+        counts = [0] * n
+        draws = 20_000
+        for rank in sampler.sequence(draws):
+            counts[rank] += 1
+        weights = zipf_weights(n, s)
+        assert counts[0] / draws == pytest.approx(weights[0], rel=0.1)
+        assert counts[1] / draws == pytest.approx(weights[1], rel=0.15)
+        # The head dominates the tail decisively.
+        assert counts[0] > 3 * counts[10] > 0
+
+    def test_skewed_keys_maps_ranks_to_keys(self):
+        keys = [f"k{i}" for i in range(8)]
+        rand = RandomSource(5, "sk")
+        picks = skewed_keys(keys, 400, 1.1, rand)
+        assert len(picks) == 400
+        assert set(picks) <= set(keys)
+        from collections import Counter
+        histogram = Counter(picks)
+        assert histogram["k0"] == max(histogram.values())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.1)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.5)
 
 
 class TestLatencyRecorder:

@@ -86,6 +86,10 @@ class BeldiContext:
     def crash_point(self, tag: str) -> None:
         self.platform_ctx.crash_point(tag)
 
+    def interleave(self, tag: str) -> None:
+        """Named scheduling point (no crash semantics) for exploration."""
+        self.platform_ctx.interleave(tag)
+
     def sleep(self, duration: float) -> None:
         self.platform_ctx.sleep(duration)
 

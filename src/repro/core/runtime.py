@@ -82,7 +82,8 @@ class BeldiRuntime:
                  store_faults: Optional[FaultPolicy] = None,
                  async_io: Optional[bool] = None,
                  batch_log_writes: Optional[bool] = None,
-                 elastic: Optional[bool] = None) -> None:
+                 elastic: Optional[bool] = None,
+                 env_prefix: str = "") -> None:
         """``shards > 1`` partitions storage across that many simulated
         store nodes behind a :class:`~repro.kvstore.ShardedStore` — each
         node with its own latency stream, fault domain, metering, and
@@ -219,6 +220,11 @@ class BeldiRuntime:
             self.kernel, rand=self.rand.child("platform"),
             latency=latency, config=platform_config)
         self._ids = self.rand.child("ids")
+        #: Prepended to every env's *storage* name (never to SSF names).
+        #: Lets several runtimes share one store without their
+        #: same-named envs adopting each other's intent/log tables —
+        #: the concurrent DST harness hosts travel + movie this way.
+        self.env_prefix = env_prefix
         self.envs: dict[str, BeldiEnv] = {}
         self.ssfs: dict[str, SSFDefinition] = {}
         self.collector_handles: list[dict] = []
@@ -255,8 +261,8 @@ class BeldiRuntime:
         """Create a sovereignty domain (one intent/log/table set, §2.2)."""
         if name in self.envs:
             raise ValueError(f"env {name!r} already exists")
-        env = BeldiEnv(self.store, self.config, name, tables,
-                       storage_mode=storage_mode,
+        env = BeldiEnv(self.store, self.config, self.env_prefix + name,
+                       tables, storage_mode=storage_mode,
                        tail_cache=(self.tail_cache
                                    if self.config.tail_cache else None))
         self.envs[name] = env

@@ -115,15 +115,20 @@ def tx_lock(ctx, short: str, key: Any) -> None:
                 "OwnerInstance": owner_instance_of(txn.txn_id),
             })
             txn.locked.add((short, key))
+            # Schedule-exploration point: the window right after a lock
+            # grant is where a conflicting transaction's probe lands.
+            ctx.interleave(f"lock:acquired:{short}:{key}")
             return
         holder = ops.read_op(ctx, table, key, attribute="LockOwner")
         if holder == daal.MISSING or not holder:
             continue  # released between our probe and read; try again
         holder_rank = (holder.get("Ts", 0.0), holder.get("Id", ""))
         if holder_rank <= txn.priority():
+            ctx.interleave(f"lock:die:{short}:{key}")
             raise TxnAborted(
                 f"wait-die: {txn.txn_id} dies to older {holder.get('Id')} "
                 f"on {short}:{key}")
+        ctx.interleave(f"lock:wait:{short}:{key}")
         attempts += 1
         if attempts > ctx.config.lock_retry_limit:
             raise TxnAborted(

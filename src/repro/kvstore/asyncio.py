@@ -139,9 +139,18 @@ def overlap(store, enabled: bool = True) -> Iterator:
                 for source in sources]
     for source in sources:
         source._ov_scope = scope
+    # Scope bodies are atomic in virtual time, so schedule-exploration
+    # interleave points must not yield while one is open.
+    kernels = {id(k): k for k in
+               (getattr(source, "kernel", None) for source in sources)
+               if k is not None and hasattr(k, "_no_yield")}
+    for k in kernels.values():
+        k._no_yield += 1
     try:
         yield scope
     finally:
+        for k in kernels.values():
+            k._no_yield -= 1
         for source, prior in previous:
             source._ov_scope = prior
         if parent is not None:

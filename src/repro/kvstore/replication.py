@@ -546,6 +546,13 @@ class ReplicaGroup:
         # scope body may never yield to the kernel mid-flight.
         self.time.pay(
             self.latency.sample("repl.failover", units=len(replay)))
+        # Schedule-exploration point *after* the (atomic) promotion: the
+        # interesting races are between the freshly promoted state and
+        # operations that resolved routing before the crash. The kernel
+        # guard keeps this a no-op inside overlap scopes.
+        kernel = getattr(self.time, "kernel", None)
+        if kernel is not None:
+            kernel.interleave_point(f"failover:promoted:{self.shard_id}")
         return promoted_index
 
     @staticmethod

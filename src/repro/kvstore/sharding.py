@@ -510,6 +510,15 @@ class ShardedStore:
         # current caller is inside one", and its mutations are atomic.
         return self.nodes[0].time._ov_scope is not None
 
+    def _interleave(self, tag: str) -> None:
+        """Schedule-exploration point (no-op without an exploring
+        schedule). Never yields inside an overlap scope."""
+        if self._in_scope():
+            return
+        kernel = getattr(self.nodes[0].time, "kernel", None)
+        if kernel is not None:
+            kernel.interleave_point(tag)
+
     def _enter_keys(self, table: str, keys) -> Optional[list]:
         return self._enter_pairs([(table, key) for key in keys])
 
@@ -929,12 +938,14 @@ class ShardedStore:
                 with scope.branch():
                     self.nodes[shard]._pay("db.txn",
                                            units=len(groups[shard]))
+        self._interleave("2pc:prepared")
         # Phase 2 latency: one commit round per involved shard.
         with overlap(self, enabled=self.async_io) as scope:
             for shard in sorted(groups):
                 with scope.branch():
                     self.nodes[shard]._pay("db.txn",
                                            units=len(groups[shard]))
+        self._interleave("2pc:committed")
         # Decision + apply under every involved table's lock.
         tables: dict[tuple, Table] = {}
         for shard, shard_ops in groups.items():

@@ -21,10 +21,12 @@ Nothing here knows about Beldi: this is the provider, and per the paper's
 
 from repro.platform.context import InvocationContext
 from repro.platform.crashes import (
+    CrashAtOccurrence,
     CrashOnce,
     CrashPolicy,
     CrashScript,
     NeverCrash,
+    PrefixedPolicy,
     RecordingPolicy,
     ProbabilisticCrash,
 )
@@ -39,6 +41,7 @@ from repro.platform.platform import PlatformConfig, PlatformStats, \
     ServerlessPlatform
 
 __all__ = [
+    "CrashAtOccurrence",
     "CrashOnce",
     "CrashPolicy",
     "CrashScript",
@@ -47,6 +50,7 @@ __all__ = [
     "FunctionTimeout",
     "InvocationContext",
     "NeverCrash",
+    "PrefixedPolicy",
     "RecordingPolicy",
     "PlatformConfig",
     "PlatformError",

@@ -62,6 +62,15 @@ class InvocationContext:
         if policy.should_crash(self.function, self.invocation_index, tag):
             self.platform.stats.injected_crashes += 1
             raise ProcessCrashed()
+        # Crash points double as interleave points: under an exploring
+        # schedule the kernel may run another ready process here. A no-op
+        # (no yield) otherwise.
+        self.platform.kernel.interleave_point(tag)
+
+    def interleave(self, tag: str) -> None:
+        """Named scheduling point with no crash semantics (conflict sites
+        such as lock handoffs that the crash sweep does not enumerate)."""
+        self.platform.kernel.interleave_point(tag)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<InvocationContext {self.function} "

@@ -116,6 +116,52 @@ class CrashScript(CrashPolicy):
 
 
 @dataclass
+class CrashAtOccurrence(CrashPolicy):
+    """Crash at the n-th global occurrence of a tag (any function).
+
+    Unlike :class:`CrashOnce`, this does not pin a (function,
+    invocation ordinal) — which shifts when an exploring schedule
+    reorders requests — so it composes with schedule exploration: "the
+    third time *anyone* reaches ``txn:*:resolving:commit``, die there"
+    is stable across interleavings that preserve the occurrence count.
+    """
+
+    tag: str
+    occurrence: int = 0
+    seen: int = field(default=0, init=False)
+    fired: bool = field(default=False, init=False)
+
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        if self.fired or tag != self.tag:
+            return False
+        hit = self.seen == self.occurrence
+        self.seen += 1
+        if hit:
+            self.fired = True
+        return hit
+
+
+@dataclass
+class PrefixedPolicy(CrashPolicy):
+    """Adapter namespacing one platform's crash points under a prefix.
+
+    The concurrent harness hosts several :class:`ServerlessPlatform`
+    instances (apps with colliding SSF names) over one shared policy;
+    prefixing the function name (``"movie:frontend"``) keeps recorded
+    points and crash scripts unambiguous across platforms.
+    """
+
+    inner: CrashPolicy
+    prefix: str
+
+    def should_crash(self, function: str, invocation_index: int,
+                     tag: str) -> bool:
+        return self.inner.should_crash(self.prefix + function,
+                                       invocation_index, tag)
+
+
+@dataclass
 class ProbabilisticCrash(CrashPolicy):
     """Crash with probability ``p`` at each matching crash point."""
 

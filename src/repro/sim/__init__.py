@@ -16,18 +16,36 @@ from repro.sim.kernel import (
     Process,
     SimEvent,
     SimKernel,
+    SimulationError,
 )
 from repro.sim.latency import LatencyModel, LatencySpec, lognormal_from_median
 from repro.sim.randsrc import RandomSource
+from repro.sim.schedule import (
+    FifoSchedule,
+    RandomSchedule,
+    ReplaySchedule,
+    Schedule,
+    TargetedSchedule,
+    format_failure,
+    parse_failure,
+)
 
 __all__ = [
+    "FifoSchedule",
     "LatencyModel",
     "LatencySpec",
     "Process",
     "ProcessCrashed",
     "ProcessKilled",
+    "RandomSchedule",
     "RandomSource",
+    "ReplaySchedule",
+    "Schedule",
     "SimEvent",
     "SimKernel",
+    "SimulationError",
+    "TargetedSchedule",
+    "format_failure",
+    "parse_failure",
     "lognormal_from_median",
 ]

@@ -13,6 +13,20 @@ Because every blocking point goes through the kernel, arbitrary user code
 virtual time, and the execution is fully deterministic for a given seed and
 spawn order.
 
+Schedules
+---------
+Every queue entry carries a human-readable label. When a pluggable
+schedule (see :mod:`repro.sim.schedule`) is installed, the kernel gathers
+all entries that share the earliest ``(time, phase)`` and lets the
+schedule pick which fires next; each multi-candidate decision is appended
+to :attr:`SimKernel.schedule_trace`, so any execution can be replayed
+bit-for-bit from ``(seed, trace)``. Without a schedule the kernel pops the
+heap directly — byte-identical to the historical FIFO behaviour.
+
+Tie-breaking: ``wait(timeout=...)`` deadlines are queued at phase 1 while
+all normal wakeups use phase 0, so an event ``set()`` landing at exactly
+the timeout instant always wins the tie (the waiter observes ``True``).
+
 Killing
 -------
 Processes cannot be preempted mid-Python-statement; instead, a killed
@@ -69,7 +83,11 @@ class SimEvent:
         self.value = value
         waiters, self._waiters = self._waiters, []
         for proc in waiters:
-            self._kernel._schedule(0.0, proc._make_wakeup(("event", self)))
+            if proc.finished:
+                continue
+            self._kernel._schedule(
+                0.0, proc._make_wakeup(("event", self)),
+                label=f"{proc.name}:event:{self.name or 'anon'}")
 
     def _add_waiter(self, proc: "Process") -> None:
         self._waiters.append(proc)
@@ -117,6 +135,10 @@ class Process:
         self._wake_token = 0
         self._wake_reason: Any = None
         self._started = False
+        # Event this process is currently blocked on in wait(), if any.
+        # Cleared on resume so kill/exit paths can discard the waiter
+        # registration instead of leaking it (and ghosting in repr).
+        self._waiting_on: Optional[SimEvent] = None
 
     # -- wakeup plumbing ---------------------------------------------------
     def _make_wakeup(self, reason: Any) -> Callable[[], bool]:
@@ -156,10 +178,16 @@ class Process:
             return
         self.killed = True
         self._kill_exc = ProcessCrashed() if crash else ProcessKilled()
+        # A process blocked in wait() must stop being a waiter right away:
+        # a later set() would otherwise schedule a dead wakeup for it.
+        waiting = self._waiting_on
+        if waiting is not None:
+            waiting._discard_waiter(self)
         # If the process is blocked, schedule an immediate wakeup so the
         # kill is delivered promptly; a stale token means it is currently
         # running and will observe the flag at its next block.
-        self._kernel._schedule(0.0, self._make_wakeup(("killed", None)))
+        self._kernel._schedule(0.0, self._make_wakeup(("killed", None)),
+                               label=f"{self.name}:kill")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "live"
@@ -214,6 +242,10 @@ class _WorkerThread:
             kernel._thread_local.process = None
             proc.finished = True
             proc._wake_token += 1  # invalidate any pending wakeups
+            waiting = proc._waiting_on
+            if waiting is not None:
+                waiting._discard_waiter(proc)
+                proc._waiting_on = None
             kernel._on_process_exit(proc)
             kernel._yielded.release()
 
@@ -228,10 +260,22 @@ class SimKernel:
         kernel.run()
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, schedule: Optional[Any] = None) -> None:
         self.now = 0.0
         self.seed = seed
-        self._queue: list[tuple[float, int, Callable[[], bool]]] = []
+        #: Pluggable scheduling policy (duck-typed; see repro.sim.schedule).
+        #: None keeps the historical pure-FIFO heap order.
+        self.schedule = schedule
+        #: Indices chosen at each multi-candidate decision; together with
+        #: the seed this replays the execution bit-for-bit.
+        self.schedule_trace: list[int] = []
+        #: When True, every resumed wakeup is appended to fired_trace as
+        #: (virtual time, label) — the kernel-level event trace used by
+        #: determinism and replay assertions.
+        self.capture_trace = False
+        self.fired_trace: list[tuple[float, str]] = []
+        self._queue: list[
+            tuple[float, int, int, str, Callable[[], bool]]] = []
         self._seq = itertools.count()
         self._yielded = threading.Semaphore(0)
         self._idle_workers: list[_WorkerThread] = []
@@ -240,6 +284,9 @@ class SimKernel:
         self._live_processes = 0
         self._running = False
         self._proc_seq = itertools.count()
+        # Non-zero while an overlap scope is open; interleave points must
+        # not yield there (scope bodies are atomic in virtual time).
+        self._no_yield = 0
 
     # -- introspection -----------------------------------------------------
     @property
@@ -255,10 +302,40 @@ class SimKernel:
         return proc
 
     # -- scheduling core ----------------------------------------------------
-    def _schedule(self, delay: float, fire: Callable[[], bool]) -> None:
+    def _schedule(self, delay: float, fire: Callable[[], bool],
+                  label: str = "", phase: int = 0) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fire))
+        heapq.heappush(self._queue,
+                       (self.now + delay, phase, next(self._seq), label, fire))
+
+    def _pop_next(self) -> tuple[float, int, int, str, Callable[[], bool]]:
+        """Pop the next queue entry, letting the schedule break ties.
+
+        Without a schedule this is a plain heappop (FIFO at equal times).
+        With one, all entries sharing the earliest ``(time, phase)`` are
+        offered to ``schedule.choose`` by label; the chosen index is
+        recorded in :attr:`schedule_trace`.
+        """
+        head = heapq.heappop(self._queue)
+        if self.schedule is None or not self._queue:
+            return head
+        group = [head]
+        key = (head[0], head[1])
+        while self._queue and (self._queue[0][0], self._queue[0][1]) == key:
+            group.append(heapq.heappop(self._queue))
+        if len(group) == 1:
+            return head
+        idx = self.schedule.choose([entry[3] for entry in group])
+        if not isinstance(idx, int) or not 0 <= idx < len(group):
+            raise SimulationError(
+                f"schedule chose invalid index {idx!r} among "
+                f"{len(group)} candidates")
+        self.schedule_trace.append(idx)
+        chosen = group.pop(idx)
+        for entry in group:
+            heapq.heappush(self._queue, entry)
+        return chosen
 
     def _recycle_worker(self, worker: _WorkerThread) -> None:
         self._idle_workers.append(worker)
@@ -280,7 +357,8 @@ class SimKernel:
 
         proc = Process(self, label, run)
         self._live_processes += 1
-        self._schedule(delay, self._make_start(proc))
+        self._schedule(delay, self._make_start(proc),
+                       label=f"{label}:start")
         return proc
 
     def _make_start(self, proc: Process) -> Callable[[], bool]:
@@ -305,18 +383,37 @@ class SimKernel:
         proc = self._require_process()
         if duration < 0:
             raise ValueError(f"negative sleep: {duration}")
-        self._schedule(duration, proc._make_wakeup(("sleep", None)))
+        self._schedule(duration, proc._make_wakeup(("sleep", None)),
+                       label=f"{proc.name}:sleep")
         proc._block()
 
     def wait(self, event: SimEvent, timeout: Optional[float] = None) -> bool:
-        """Block until ``event`` is set; returns False on timeout."""
+        """Block until ``event`` is set; returns False on timeout.
+
+        When a ``set()`` and the timeout land at the same virtual instant,
+        the event wins the tie: timeout wakeups are queued at phase 1, so
+        every same-instant normal wakeup (including the setter's resume and
+        the resulting waiter wakeups) fires first and invalidates the
+        pending timeout via the wake token.
+        """
         proc = self._require_process()
         if event.is_set:
             return True
         event._add_waiter(proc)
+        proc._waiting_on = event
         if timeout is not None:
-            self._schedule(timeout, proc._make_wakeup(("timeout", event)))
-        reason = proc._block()
+            self._schedule(timeout, proc._make_wakeup(("timeout", event)),
+                           label=f"{proc.name}:timeout:{event.name or 'anon'}",
+                           phase=1)
+        try:
+            reason = proc._block()
+        except BaseException:
+            # Killed (or crashed) while blocked: stop being a waiter so a
+            # later set() does not schedule a dead wakeup for us.
+            event._discard_waiter(proc)
+            proc._waiting_on = None
+            raise
+        proc._waiting_on = None
         kind = reason[0] if isinstance(reason, tuple) else reason
         if kind == "timeout" and not event.is_set:
             event._discard_waiter(proc)
@@ -347,7 +444,29 @@ class SimKernel:
             fn()
             return False
 
-        self._schedule(delay, fire)
+        self._schedule(delay, fire, label="call_later")
+
+    def interleave_point(self, tag: str) -> None:
+        """Optional scheduling point for schedule exploration.
+
+        A no-op unless an installed schedule opts in via its
+        ``interleave_points`` attribute — so production runs and the
+        golden-pinned FIFO executions are byte-identical. When active, the
+        calling process yields at this point, letting the schedule run any
+        other ready process first. Never yields inside an overlap scope
+        (scope bodies are atomic in virtual time).
+        """
+        sched = self.schedule
+        if sched is None or not getattr(sched, "interleave_points", False):
+            return
+        if self._no_yield:
+            return
+        proc = self.current_process
+        if proc is None:
+            return
+        self._schedule(0.0, proc._make_wakeup(("interleave", tag)),
+                       label=f"{proc.name}:interleave:{tag}")
+        proc._block()
 
     # -- driving the simulation ----------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
@@ -363,13 +482,14 @@ class SimKernel:
         self._running = True
         try:
             while self._queue:
-                when, _seq, fire = heapq.heappop(self._queue)
-                if until is not None and when > until:
-                    heapq.heappush(self._queue, (when, _seq, fire))
+                if until is not None and self._queue[0][0] > until:
                     self.now = until
                     break
+                when, _phase, _seq, label, fire = self._pop_next()
                 self.now = when
                 if fire():
+                    if self.capture_trace:
+                        self.fired_trace.append((when, label))
                     # Exactly one process resumed; wait for it to yield back.
                     self._yielded.acquire()
             else:
@@ -381,15 +501,28 @@ class SimKernel:
 
     def run_until_processes_exit(self, procs: Iterable[Process],
                                  limit: Optional[float] = None) -> float:
-        """Convenience driver: run until all ``procs`` finished."""
+        """Convenience driver: run until all ``procs`` finished.
+
+        Raises :class:`SimulationError` if the event queue drains while
+        some of ``procs`` are still blocked on events nobody will set —
+        a deadlock that previously returned silently. Reaching ``limit``
+        returns normally (the caller decides whether that is a failure).
+        """
         procs = list(procs)
         while any(not p.finished for p in procs):
-            before = len(self._queue)
             self.run(until=limit)
             if limit is not None and self.now >= limit:
                 break
-            if not self._queue and before == 0:
-                break
+            if not self._queue:
+                blocked = [p for p in procs if not p.finished]
+                if not blocked:
+                    break
+                detail = "; ".join(
+                    f"{p.name} waiting on {p._waiting_on!r}"
+                    for p in blocked)
+                raise SimulationError(
+                    f"deadlock: event queue drained with {len(blocked)} "
+                    f"process(es) still blocked: {detail}")
         return self.now
 
     def shutdown(self) -> None:

@@ -1,0 +1,164 @@
+"""Pluggable kernel schedules for deterministic schedule exploration.
+
+The kernel (``repro/sim/kernel.py``) labels every queue entry and, when a
+schedule is installed, offers it all entries sharing the earliest
+``(time, phase)``; the schedule returns the index to fire next. Each
+multi-candidate decision is appended to ``SimKernel.schedule_trace``, so
+an execution is fully identified by ``(seed, trace)`` and can be replayed
+bit-for-bit with :class:`ReplaySchedule` — the FoundationDB-style DST
+loop: explore randomly, shrink nothing, replay exactly.
+
+Schedules also gate *interleave points*: optional yield points the
+runtime sprinkles at contention sites (lock acquire/release, 2PC
+prepare/commit, ``migrate:*`` phases, failover promotion). They are
+no-ops unless a schedule sets ``interleave_points = True``, so default
+(FIFO) runs stay byte-identical to the historical kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.kernel import SimulationError
+from repro.sim.randsrc import RandomSource
+
+
+class Schedule:
+    """Base policy: FIFO (always fire the earliest-scheduled candidate)."""
+
+    #: When True, ``SimKernel.interleave_point`` yields; when False it is
+    #: a no-op and the execution matches a schedule-less kernel.
+    interleave_points = False
+
+    def choose(self, labels: Sequence[str]) -> int:
+        """Pick which of ``labels`` (>= 2 candidates) fires next."""
+        return 0
+
+
+class FifoSchedule(Schedule):
+    """Explicit FIFO — identical to running without a schedule, but the
+    kernel still records the (trivial) trace. Useful as a control."""
+
+
+class RandomSchedule(Schedule):
+    """Seeded uniform choice at every multi-candidate instant.
+
+    The seed alone replays the run (the trace is still recorded so
+    failures can be replayed without re-deriving the RNG stream).
+    """
+
+    interleave_points = True
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self.rand = RandomSource(seed, "schedule/random")
+
+    def choose(self, labels: Sequence[str]) -> int:
+        return self.rand.randint(0, len(labels) - 1)
+
+
+class ReplaySchedule(Schedule):
+    """Replay a recorded ``schedule_trace`` decision-for-decision.
+
+    Raises :class:`~repro.sim.kernel.SimulationError` when a recorded
+    index is out of range for the offered candidates (the replayed code
+    diverged from the recording). Once the trace is exhausted the policy
+    falls back to FIFO — traces captured up to a failure point replay the
+    failure and then drain deterministically.
+    """
+
+    interleave_points = True
+
+    def __init__(self, trace: Sequence[int]) -> None:
+        self.trace = list(trace)
+        self.pos = 0
+
+    def choose(self, labels: Sequence[str]) -> int:
+        if self.pos >= len(self.trace):
+            return 0
+        idx = self.trace[self.pos]
+        self.pos += 1
+        if not 0 <= idx < len(labels):
+            raise SimulationError(
+                f"replay diverged at decision {self.pos - 1}: recorded "
+                f"index {idx} but only {len(labels)} candidates offered "
+                f"({list(labels)!r})")
+        return idx
+
+
+#: Label substrings marking decisions near known conflict sites. The
+#: interleave tags are chosen by the runtime call sites (lock:*, txn:*,
+#: 2pc:*, migrate:*, failover:*) so one substring family covers them all.
+DEFAULT_CONFLICT_PATTERNS = (
+    ":interleave:lock:",
+    ":interleave:txn:",
+    ":interleave:2pc:",
+    ":interleave:migrate:",
+    ":interleave:failover:",
+)
+
+
+class TargetedSchedule(Schedule):
+    """FIFO away from conflicts, adversarial near them.
+
+    When any offered candidate label matches a conflict pattern, pick
+    uniformly among the *matching* candidates (seeded); otherwise fall
+    back to FIFO. This concentrates the exploration budget on orderings
+    around lock handoffs, 2PC rounds, migration phases and failover
+    promotion instead of diffusing it over background timers.
+    """
+
+    interleave_points = True
+
+    def __init__(self, seed: int,
+                 patterns: Optional[Sequence[str]] = None) -> None:
+        self.seed = seed
+        self.rand = RandomSource(seed, "schedule/targeted")
+        self.patterns = tuple(patterns or DEFAULT_CONFLICT_PATTERNS)
+        #: Number of decisions where a conflict-site candidate was present
+        #: (tests assert the explorer actually reached contention).
+        self.conflict_hits = 0
+
+    def _is_hot(self, label: str) -> bool:
+        return any(pattern in label for pattern in self.patterns)
+
+    def choose(self, labels: Sequence[str]) -> int:
+        hot = [i for i, label in enumerate(labels) if self._is_hot(label)]
+        if not hot:
+            return 0
+        self.conflict_hits += 1
+        return self.rand.choice(hot)
+
+
+def format_failure(seed: int, trace: Sequence[int]) -> str:
+    """One-line ``(seed, trace)`` form printed on assertion failures.
+
+    The format is stable so a CI log line can be pasted straight into
+    :func:`parse_failure` (see docs/testing.md).
+    """
+    return f"DST-REPLAY seed={seed} trace={','.join(map(str, trace))}"
+
+
+def parse_failure(line: str) -> tuple[int, list[int]]:
+    """Inverse of :func:`format_failure` (accepts the full log line)."""
+    marker = "DST-REPLAY "
+    at = line.find(marker)
+    if at < 0:
+        raise ValueError(f"no {marker!r} marker in {line!r}")
+    fields = dict(part.split("=", 1)
+                  for part in line[at + len(marker):].split())
+    trace_text = fields["trace"]
+    trace = [int(x) for x in trace_text.split(",")] if trace_text else []
+    return int(fields["seed"]), trace
+
+
+__all__ = [
+    "DEFAULT_CONFLICT_PATTERNS",
+    "FifoSchedule",
+    "RandomSchedule",
+    "ReplaySchedule",
+    "Schedule",
+    "TargetedSchedule",
+    "format_failure",
+    "parse_failure",
+]

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim import ProcessKilled, SimKernel
+from repro.sim import (
+    FifoSchedule,
+    ProcessKilled,
+    RandomSchedule,
+    ReplaySchedule,
+    SimKernel,
+    SimulationError,
+)
 
 
 @pytest.fixture
@@ -272,6 +279,171 @@ class TestKill:
         proc.kill()
         kernel.run()
         assert proc.result == "ok"
+
+
+class TestWaiterHygiene:
+    def test_killed_waiter_discarded_from_event(self, kernel):
+        """Regression: a process killed while blocked in wait() used to
+        stay in the event's waiter list forever (ghost wakeups)."""
+        evt = kernel.event("gate")
+        victim = kernel.spawn(lambda: kernel.wait(evt))
+        kernel.spawn(lambda: victim.kill(), delay=1.0)
+        kernel.run()
+        assert victim.finished
+        assert evt._waiters == []
+        # A later set() must find no dead waiters to wake.
+        kernel.spawn(lambda: evt.set("late"), delay=1.0)
+        kernel.run()
+        assert evt.is_set
+
+    def test_killed_waiter_discarded_before_wakeup_delivery(self, kernel):
+        """kill() removes the waiter registration immediately, not just
+        when the kill exception unwinds the wait."""
+        evt = kernel.event("gate")
+        victim = kernel.spawn(lambda: kernel.wait(evt))
+
+        def killer():
+            kernel.sleep(1.0)
+            victim.kill()
+            assert evt._waiters == []  # discarded synchronously
+
+        killer_proc = kernel.spawn(killer)
+        kernel.run()
+        assert killer_proc.error is None
+        assert isinstance(victim.error, ProcessKilled)
+
+    def test_timed_out_waiter_discarded(self, kernel):
+        evt = kernel.event("gate")
+        kernel.spawn(lambda: kernel.wait(evt, timeout=2.0))
+        kernel.run()
+        assert evt._waiters == []
+
+
+class TestDeadlockDetection:
+    def test_deadlock_raises_with_diagnostic(self, kernel):
+        """Regression: run_until_processes_exit used to return silently
+        when survivors were blocked on events nobody will ever set."""
+        evt = kernel.event("never-set")
+        stuck = kernel.spawn(lambda: kernel.wait(evt), name="stuck")
+        with pytest.raises(SimulationError) as excinfo:
+            kernel.run_until_processes_exit([stuck])
+        message = str(excinfo.value)
+        assert "deadlock" in message
+        assert "stuck" in message
+        assert "never-set" in message
+
+    def test_no_deadlock_when_event_is_set(self, kernel):
+        evt = kernel.event("gate")
+        waiter = kernel.spawn(lambda: kernel.wait(evt))
+        kernel.spawn(lambda: evt.set(), delay=3.0)
+        kernel.run_until_processes_exit([waiter])
+        assert waiter.finished
+
+    def test_limit_returns_instead_of_raising(self, kernel):
+        slow = kernel.spawn(lambda: kernel.sleep(100.0))
+        assert kernel.run_until_processes_exit([slow], limit=10.0) == 10.0
+        assert not slow.finished
+        kernel.run_until_processes_exit([slow])
+        assert slow.finished
+
+
+class TestEventTimeoutTies:
+    def test_event_wins_same_instant_tie(self, kernel):
+        """A set() landing at exactly the timeout instant wins: the
+        waiter observes True, not a timeout. (Previously resolved by
+        heap insertion order — the timeout, scheduled first, won.)"""
+        evt = kernel.event("tie")
+        results = []
+
+        def waiter():
+            results.append(kernel.wait(evt, timeout=5.0))
+            results.append(kernel.now)
+
+        kernel.spawn(waiter)
+
+        def setter():
+            kernel.sleep(5.0)
+            evt.set("on-the-wire")
+
+        kernel.spawn(setter)
+        kernel.run()
+        assert results == [True, 5.0]
+
+    def test_timeout_still_fires_when_nothing_sets(self, kernel):
+        evt = kernel.event("tie")
+        results = []
+        kernel.spawn(lambda: results.append(kernel.wait(evt, timeout=5.0)))
+        kernel.run()
+        assert results == [False]
+
+
+class TestSchedules:
+    def _trace_run(self, schedule):
+        kernel = SimKernel(seed=1, schedule=schedule)
+        kernel.capture_trace = True
+        trace = []
+        for i in range(4):
+            def body(i=i):
+                kernel.sleep(1.0)
+                trace.append(i)
+            kernel.spawn(body, name=f"w{i}")
+        kernel.run()
+        kernel.shutdown()
+        return trace, list(kernel.schedule_trace), list(kernel.fired_trace)
+
+    def test_fifo_schedule_matches_no_schedule(self):
+        baseline, _, _ = self._trace_run(None)
+        fifo, decisions, _ = self._trace_run(FifoSchedule())
+        assert fifo == baseline == [0, 1, 2, 3]
+        assert all(idx == 0 for idx in decisions)
+
+    def test_random_schedule_records_replayable_trace(self):
+        shuffled, decisions, fired = self._trace_run(RandomSchedule(9))
+        assert sorted(shuffled) == [0, 1, 2, 3]
+        assert decisions, "multi-candidate decisions must be recorded"
+        replayed, redecisions, refired = self._trace_run(
+            ReplaySchedule(decisions))
+        assert replayed == shuffled
+        assert redecisions == decisions
+        assert refired == fired
+
+    def test_replay_divergence_raises(self):
+        kernel = SimKernel(seed=1, schedule=ReplaySchedule([99]))
+        for i in range(3):
+            kernel.spawn(lambda: None, name=f"w{i}")
+        with pytest.raises(SimulationError, match="replay diverged"):
+            kernel.run()
+        kernel.shutdown()
+
+    def test_interleave_point_noop_without_schedule(self, kernel):
+        order = []
+
+        def a():
+            order.append("a1")
+            kernel.interleave_point("probe")
+            order.append("a2")
+
+        kernel.spawn(a)
+        kernel.spawn(lambda: order.append("b"))
+        kernel.run()
+        assert order == ["a1", "a2", "b"]
+
+    def test_interleave_point_yields_under_exploring_schedule(self):
+        # Decision 1 picks a's spawn over b's; a then yields at the
+        # interleave point, and decision 2 lets b run in the gap.
+        kernel = SimKernel(seed=1, schedule=ReplaySchedule([0, 0]))
+        order = []
+
+        def a():
+            order.append("a1")
+            kernel.interleave_point("probe")
+            order.append("a2")
+
+        kernel.spawn(a)
+        kernel.spawn(lambda: order.append("b"))
+        kernel.run()
+        kernel.shutdown()
+        assert order == ["a1", "b", "a2"]
 
 
 class TestDeterminism:

@@ -13,3 +13,12 @@ def emit(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, **payload) -> None:
+    """Write the gate's machine-readable ``BENCH_<name>.json`` at the
+    repo root (see ``repro.bench.reporting.write_bench_json``)."""
+    from repro.bench.reporting import write_bench_json
+
+    path = write_bench_json(name, payload)
+    print(f"[bench-json] {path}")

@@ -6,7 +6,7 @@ pointers with one round trip per row. The gap must widen with chain
 length — this is why the linked DAAL stays cheap even before GC trims it.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig13_ops import traversal_ablation
 from repro.bench.reporting import format_table
@@ -26,6 +26,8 @@ def test_traversal_ablation(benchmark):
         "Ablation — DAAL traversal median latency (virtual ms)",
         ["chain rows", "scan+projection", "pointer chase", "chase/scan"],
         rows))
+    emit_json("ablation_traversal",
+              latency_ms={str(n): results[n] for n in LENGTHS})
 
     # Pointer chasing degrades linearly with depth; the scan stays flat.
     shallow, deep = LENGTHS[0], LENGTHS[-1]

@@ -17,7 +17,7 @@ the tentpole claims:
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig_async_io import (
     N_KEYS,
@@ -41,6 +41,7 @@ def test_async_io_ablation(benchmark):
     by_config = {point["config"]: point for point in points}
     text = ablation_table(points + [replicated])
     emit("async_io_ablation", text)
+    emit_json("async_io", points=points + [replicated])
 
     baseline = by_config["off-off"]
     both = by_config["on-on"]

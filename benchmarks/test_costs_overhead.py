@@ -8,7 +8,7 @@ at least one scan, an invoke adds one read and two writes; on-demand
 pricing charges $2.5e-7 per read and $1.25e-6 per write unit.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.costs import measure_costs
 from repro.bench.reporting import format_table
@@ -32,6 +32,7 @@ def test_costs_overhead(benchmark):
         "§7.3 — storage / network / request-cost overheads "
         "(1 read + 1 write + 1 condWrite + 1 invoke per mode)",
         ["metric", "value"], rows))
+    emit_json("costs", **costs)
 
     # Beldi multiplies store operations: read -> scan+read+log-write,
     # write -> scan+cond-write, invoke -> log write + callback update...

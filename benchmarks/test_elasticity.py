@@ -17,7 +17,7 @@ the tentpole properties:
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig_elasticity import (
     elasticity_table,
@@ -30,6 +30,8 @@ def test_elasticity_recovers_skewed_throughput():
     points = run_elasticity()
     emit("elasticity", elasticity_table(points))
     emit("elasticity_metering", shard_dashboards(points))
+    emit_json("elasticity", static=points["static"],
+              elastic=points["elastic"])
     static, elastic = points["static"], points["elastic"]
 
     # Identical, fully served request series in both placements.

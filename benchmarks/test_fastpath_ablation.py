@@ -16,7 +16,7 @@ A second table ablates ``batch_reads`` on the transaction commit path
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig13_ops import KEY, VALUE, _pre_grow_chain
 from repro.bench.reporting import format_table
@@ -164,6 +164,12 @@ def test_fastpath_ablation(benchmark):
         ["tail_cache", "batch_reads", "queries", "gets", "batch_gets",
          "round trips"], rows)
     emit("fastpath_ablation", text)
+    emit_json("fastpath_ablation",
+              hot_loop={"on" if on else "off": r
+                        for on, r in hot.items()},
+              txn_commits={f"tc={'on' if tc else 'off'},"
+                           f"br={'on' if br else 'off'}": r
+                           for (tc, br), r in sorted(txn.items())})
 
     # Acceptance: tail cache ON cuts traversal queries by >= 40% on the
     # hot loop (it eliminates nearly all of them).

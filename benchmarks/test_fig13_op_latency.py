@@ -5,7 +5,7 @@ the cross-table-transaction variant pays ~2-2.5x Beldi's linked-DAAL cost
 on writes but *less* than Beldi on reads (no chain scan).
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig13_ops import OPS, measure_primitive_ops
 from repro.bench.reporting import format_table
@@ -36,6 +36,7 @@ def test_fig13_primitive_latency(benchmark):
         f"Figure 13 — primitive op latency (virtual ms), {ROWS}-row DAAL",
         ["op", "base p50", "base p99", "beldi p50", "beldi p99",
          "xtable p50", "xtable p99"], rows))
+    emit_json("fig13", rows=ROWS, latency_ms=results)
 
     for op in OPS:
         base = results["baseline"][op]["p50"]

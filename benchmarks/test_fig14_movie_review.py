@@ -7,7 +7,7 @@ Scaled ~10x down from the paper's 100-800 req/s @ 1,000-Lambda setup
 (see EXPERIMENTS.md).
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig1415_apps import app_sweep
 from repro.bench.reporting import format_table
@@ -40,6 +40,7 @@ def test_fig14_movie_review_sweep(benchmark):
         "(virtual ms / req/s)",
         ["offered", "base rps", "base p50", "base p99",
          "beldi rps", "beldi p50", "beldi p99"], rows))
+    emit_json("fig14", rates=list(RATES), curves=curves)
 
     low_base = curves["baseline"][0]
     low_beldi = curves["beldi"][0]

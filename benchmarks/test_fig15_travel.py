@@ -8,7 +8,7 @@ The baseline returns inconsistent results (no atomicity across the hotel
 and flight) — quantified here by the capacity-mismatch count.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig1415_apps import _build, app_sweep
 from repro.bench.reporting import format_table
@@ -51,6 +51,7 @@ def test_fig15_travel_sweep(benchmark):
         "(virtual ms / req/s); right columns: Beldi w/o transactions",
         ["offered", "base rps", "base p50", "base p99", "beldi rps",
          "beldi p50", "beldi p99", "notxn p50", "notxn p99"], rows))
+    emit_json("fig15", rates=list(RATES), curves=curves)
 
     low_base, low_beldi = curves["baseline"][0], curves["beldi"][0]
     ratio = low_beldi["p50_ms"] / low_base["p50_ms"]
@@ -103,6 +104,8 @@ def test_fig15_baseline_is_inconsistent(benchmark):
          f"Baseline travel inconsistency: {completed} reserves "
          f"completed; rooms left {rooms}, seats left {seats} "
          f"(equal capacity was provisioned on both sides)")
+    emit_json("fig15_inconsistency", completed=completed,
+              rooms_left=rooms, seats_left=seats)
     # Far more requests than capacity: both inventories drain to 0, but
     # the non-atomic baseline 'succeeds' anyway (inconsistent bookings) —
     # in a transactional system overall bookings could never exceed

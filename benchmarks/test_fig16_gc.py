@@ -10,7 +10,7 @@ Time is scaled 10x: the paper's 60-minute run becomes 6 virtual minutes,
 and its 1/10/30-minute triggers become 6/60/180 virtual seconds.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig16_gc import gc_timeseries
 from repro.bench.reporting import format_series
@@ -38,6 +38,11 @@ def test_fig16_gc_effect(benchmark):
         "Figure 16 — median write-SSF response vs time (virtual ms), "
         "10x time scale",
         {label: r["series"] for label, r in results.items()}))
+    emit_json("fig16", series={label: r["series"]
+                               for label, r in results.items()},
+              p50_ms={label: r["p50"] for label, r in results.items()},
+              final_chain_rows={label: r["final_chain_rows"]
+                                for label, r in results.items()})
 
     def first_last(label):
         series = results[label]["series"]

@@ -4,7 +4,7 @@ The paper's optimistic setting: shorter chains, slightly cheaper Beldi
 reads/writes, same qualitative ordering.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig13_ops import OPS, measure_primitive_ops
 from repro.bench.reporting import format_table
@@ -35,6 +35,7 @@ def test_fig25_primitive_latency_5row(benchmark):
         f"Figure 25 — primitive op latency (virtual ms), {ROWS}-row DAAL",
         ["op", "base p50", "base p99", "beldi p50", "beldi p99",
          "xtable p50", "xtable p99"], rows))
+    emit_json("fig25", rows=ROWS, latency_ms=results)
 
     for op in OPS:
         ratio = (results["beldi"][op]["p50"]

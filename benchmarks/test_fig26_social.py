@@ -4,7 +4,7 @@ Same shape as Fig. 14; the compose path additionally exercises
 asynchronous fan-out to follower home timelines.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig1415_apps import app_sweep
 from repro.bench.reporting import format_table
@@ -37,6 +37,7 @@ def test_fig26_social_sweep(benchmark):
         "(virtual ms / req/s)",
         ["offered", "base rps", "base p50", "base p99",
          "beldi rps", "beldi p50", "beldi p99"], rows))
+    emit_json("fig26", rates=list(RATES), curves=curves)
 
     low_base, low_beldi = curves["baseline"][0], curves["beldi"][0]
     assert low_base["achieved_rps"] >= RATES[0] * 0.9

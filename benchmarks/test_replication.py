@@ -18,7 +18,7 @@ headline properties:
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig_replication import (
     protocol_tables_served_eventual,
@@ -30,6 +30,7 @@ from repro.bench.fig_replication import (
 def test_replication_gate():
     points = run_replication()
     emit("replication", replication_table(points))
+    emit_json("replication", points=points)
     by_config = {p["config"]: p for p in points}
     strong = by_config["strong-r1"]
     strong_repl = by_config["strong-r3"]

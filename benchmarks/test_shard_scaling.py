@@ -11,7 +11,7 @@ bounded, partitioning the DAAL tables across 4 nodes carries at least
 from __future__ import annotations
 
 import pytest
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.bench.fig_shard_scaling import (
     SHARD_COUNTS,
@@ -25,6 +25,7 @@ def test_shard_scaling():
     points = run_scaling(SHARD_COUNTS)
     emit("shard_scaling", scaling_table(points))
     emit("shard_metering", shard_dashboards(points))
+    emit_json("shard_scaling", points=points)
 
     by_shards = {p["shards"]: p for p in points}
     # Every configuration completed the whole workload, error-free.

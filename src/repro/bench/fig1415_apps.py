@@ -27,7 +27,8 @@ def _platform_config(concurrency: int) -> PlatformConfig:
 
 
 def _build(app_name: str, mode: str, seed: int, concurrency: int,
-           app_kwargs: Optional[dict] = None):
+           app_kwargs: Optional[dict] = None,
+           config_overrides: Optional[dict] = None):
     app_kwargs = dict(app_kwargs or {})
     app = build_app(app_name, seed=seed, **app_kwargs)
     if mode == "baseline":
@@ -37,12 +38,14 @@ def _build(app_name: str, mode: str, seed: int, concurrency: int,
     elif mode == "beldi":
         # Seed-faithful figure: every post-paper optimization (fast path,
         # async/batched I/O) pinned off; those are gated by their own
-        # ablation benches.
+        # ablation benches. ``config_overrides`` lets ablation gates flip
+        # individual knobs (e.g. ``observability``) on this exact setup.
         runtime = BeldiRuntime(
             seed=seed, latency_scale=1.0,
             config=BeldiConfig(gc_t=1e12, ic_restart_delay=1e12,
                                tail_cache=False, batch_reads=False,
-                               async_io=False, batch_log_writes=False),
+                               async_io=False, batch_log_writes=False,
+                               **(config_overrides or {})),
             platform_config=_platform_config(concurrency))
     else:
         raise ValueError(f"unknown mode {mode!r}")

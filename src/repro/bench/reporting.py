@@ -2,7 +2,60 @@
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
+import subprocess
 from typing import Any, Iterable, Optional, Sequence
+
+#: Repo root (three levels above ``src/repro/bench``): where the
+#: ``BENCH_<name>.json`` trajectory files accumulate.
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+
+def git_rev() -> str:
+    """Short git revision of the repo, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively replace non-finite floats (JSON has no NaN/inf)."""
+    if isinstance(value, float):
+        return value if value == value and value not in (
+            float("inf"), float("-inf")) else None
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def write_bench_json(name: str, payload: dict,
+                     directory: Optional[pathlib.Path] = None
+                     ) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` at the repo root (machine-readable
+    benchmark trajectory; see ROADMAP).
+
+    ``payload`` is augmented with the git revision; keys are sorted and
+    non-finite floats nulled so files diff cleanly. ``BENCH_JSON_DIR``
+    overrides the output directory (CI artifact staging).
+    """
+    target = directory or pathlib.Path(
+        os.environ.get("BENCH_JSON_DIR", REPO_ROOT))
+    target.mkdir(parents=True, exist_ok=True)
+    body = dict(payload)
+    body.setdefault("bench", name)
+    body.setdefault("git_rev", git_rev())
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(_json_safe(body), indent=2,
+                               sort_keys=True) + "\n")
+    return path
 
 
 def format_table(title: str, columns: Sequence[str],

@@ -102,6 +102,18 @@ class BeldiConfig:
         ``elastic_tolerance`` is the residual per-shard overload
         :meth:`~repro.kvstore.HashRing.plan_rebalance` accepts rather
         than keep moving chains.
+    observability:
+        Virtual-time tracing + unified metrics (``repro.obs``): nested
+        spans (request → step → op → store round trip, plus txn/2PC,
+        failover, migration, GC, and crash/interleave events) stamped
+        with kernel time, and a :class:`~repro.obs.MetricsRegistry`
+        unifying metering/capacity/cache/replication/elasticity
+        signals. Pure recording: no virtual time, no store traffic, no
+        randomness — the simulation's behavior is identical either
+        way, and with the flag **off** (the default) no observability
+        object is even constructed, reproducing the pre-observability
+        code paths bit-for-bit. Same seed + schedule ⇒ byte-identical
+        exported trace (``docs/observability.md``).
     """
 
     row_log_capacity: int = 8
@@ -123,3 +135,4 @@ class BeldiConfig:
     elastic_load_ratio: float = 1.5
     elastic_max_moves: int = 8
     elastic_tolerance: float = 0.2
+    observability: bool = False

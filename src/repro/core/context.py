@@ -10,6 +10,7 @@ transactional context, Beldi modifies the semantics of its API".
 
 from __future__ import annotations
 
+import contextlib
 from typing import Any, Callable, Optional
 
 from repro.core import daal, invoke, ops, txn as txn_mod
@@ -25,6 +26,10 @@ from repro.core.txn import (
 from repro.kvstore import KVStore
 from repro.kvstore.expressions import Condition
 from repro.platform.context import InvocationContext
+
+#: Shared no-op scope returned by :meth:`BeldiContext.trace` when the
+#: observability flag is off — stateless, so one instance serves all.
+_NULL_SPAN = contextlib.nullcontext()
 
 
 class BeldiContext:
@@ -63,6 +68,20 @@ class BeldiContext:
         if not getattr(self.config, "tail_cache", False):
             return None
         return getattr(self.runtime, "tail_cache", None)
+
+    @property
+    def obs(self):
+        """The runtime's observability hub, or ``None`` when the
+        ``observability`` flag is off (the default)."""
+        return getattr(self.runtime, "obs", None)
+
+    def trace(self, name: str, cat: str = "op",
+              span_id: Optional[str] = None, **args: Any):
+        """Open a tracer span, or a no-op scope when tracing is off."""
+        obs = self.obs
+        if obs is None:
+            return _NULL_SPAN
+        return obs.tracer.span(name, cat=cat, span_id=span_id, **args)
 
     def next_step(self) -> int:
         step = self._step

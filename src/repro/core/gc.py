@@ -113,6 +113,18 @@ def make_garbage_collector(runtime, env: BeldiEnv):
 
     def garbage_collector(platform_ctx: InvocationContext,
                           payload: Any) -> dict:
+        obs = getattr(runtime, "obs", None)
+        if obs is None:
+            return _collect(platform_ctx, payload)
+        with obs.tracer.span("gc.pass", cat="gc", env=env.name):
+            stats = _collect(platform_ctx, payload)
+        for key in sorted(stats):
+            if stats[key]:
+                obs.metrics.inc(f"gc.{key}", stats[key])
+        return stats
+
+    def _collect(platform_ctx: InvocationContext,
+                 payload: Any) -> dict:
         now = runtime.kernel.now
         t_bound = runtime.config.gc_t
         store = env.store

@@ -121,26 +121,29 @@ def complete_invoke(ctx, prepared: dict, crash_points: bool = True) -> Any:
         return unwrap_result(prepared["logged"])
     step = prepared["step"]
     callee = prepared["callee"]
-    attempts = 0
-    while True:
-        if crash_points:
-            ctx.crash_point(f"invoke:{step}:before-call")
-        try:
-            result = ctx.platform_ctx.sync_invoke(callee,
-                                                  prepared["call"])
+    with ctx.trace(f"step.invoke:{callee}", cat="step",
+                   span_id=f"{ctx.instance_id}#{step}", step=step,
+                   callee=prepared["call"]["instance_id"]):
+        attempts = 0
+        while True:
             if crash_points:
-                ctx.crash_point(f"invoke:{step}:after-call")
-            return unwrap_result(result)
-        except (FunctionCrashed, FunctionTimeout, TooManyRequests):
-            found, result = _check_logged_result(ctx, step)
-            if found:
+                ctx.crash_point(f"invoke:{step}:before-call")
+            try:
+                result = ctx.platform_ctx.sync_invoke(callee,
+                                                      prepared["call"])
+                if crash_points:
+                    ctx.crash_point(f"invoke:{step}:after-call")
                 return unwrap_result(result)
-            attempts += 1
-            if attempts > ctx.config.invoke_retry_limit:
-                raise InvokeFailed(
-                    f"sync invoke of {callee!r} failed after "
-                    f"{attempts} attempts")
-            ctx.sleep(ctx.config.invoke_retry_backoff * attempts)
+            except (FunctionCrashed, FunctionTimeout, TooManyRequests):
+                found, result = _check_logged_result(ctx, step)
+                if found:
+                    return unwrap_result(result)
+                attempts += 1
+                if attempts > ctx.config.invoke_retry_limit:
+                    raise InvokeFailed(
+                        f"sync invoke of {callee!r} failed after "
+                        f"{attempts} attempts")
+                ctx.sleep(ctx.config.invoke_retry_backoff * attempts)
 
 
 def sync_invoke_op(ctx, callee: str, payload_input: Any) -> Any:
@@ -265,38 +268,43 @@ def async_invoke_op(ctx, callee: str, payload_input: Any) -> None:
     if ctx.in_txn_execute():
         raise NotSupported("asyncInvoke is not supported in transactions")
     step = ctx.next_step()
-    ctx.crash_point(f"invoke:{step}:start")
-    callee_id, logged = _log_invoke(ctx, step, callee, is_async=True)
-    acked = logged == ASYNC_ACK
-    if not acked:
-        registration = {
-            "kind": "async_register",
-            "instance_id": callee_id,
-            "input": payload_input,
-            "caller": {"ssf": ctx.function_name,
-                       "instance_id": ctx.instance_id,
-                       "step": step},
-        }
-        attempts = 0
-        while True:
-            try:
-                ctx.platform_ctx.sync_invoke(callee, registration)
-                break
-            except (FunctionCrashed, FunctionTimeout, TooManyRequests):
-                found, result = _check_logged_result(ctx, step)
-                if found and result == ASYNC_ACK:
+    with ctx.trace(f"step.async_invoke:{callee}", cat="step",
+                   span_id=f"{ctx.instance_id}#{step}", step=step):
+        ctx.crash_point(f"invoke:{step}:start")
+        callee_id, logged = _log_invoke(ctx, step, callee, is_async=True)
+        acked = logged == ASYNC_ACK
+        if not acked:
+            registration = {
+                "kind": "async_register",
+                "instance_id": callee_id,
+                "input": payload_input,
+                "caller": {"ssf": ctx.function_name,
+                           "instance_id": ctx.instance_id,
+                           "step": step},
+            }
+            attempts = 0
+            while True:
+                try:
+                    ctx.platform_ctx.sync_invoke(callee, registration)
                     break
-                attempts += 1
-                if attempts > ctx.config.invoke_retry_limit:
-                    raise InvokeFailed(
-                        f"async registration with {callee!r} failed "
-                        f"after {attempts} attempts")
-                ctx.sleep(ctx.config.invoke_retry_backoff * attempts)
-    ctx.crash_point(f"invoke:{step}:before-async")
-    # At-least-once from here: if this dispatch is lost (or we crash), the
-    # callee's intent collector finds the registered intent and runs it.
-    ctx.platform_ctx.async_invoke(
-        callee, {"kind": "call", "instance_id": callee_id, "async": True})
+                except (FunctionCrashed, FunctionTimeout,
+                        TooManyRequests):
+                    found, result = _check_logged_result(ctx, step)
+                    if found and result == ASYNC_ACK:
+                        break
+                    attempts += 1
+                    if attempts > ctx.config.invoke_retry_limit:
+                        raise InvokeFailed(
+                            f"async registration with {callee!r} failed "
+                            f"after {attempts} attempts")
+                    ctx.sleep(ctx.config.invoke_retry_backoff * attempts)
+        ctx.crash_point(f"invoke:{step}:before-async")
+        # At-least-once from here: if this dispatch is lost (or we
+        # crash), the callee's intent collector finds the registered
+        # intent and runs it.
+        ctx.platform_ctx.async_invoke(
+            callee, {"kind": "call", "instance_id": callee_id,
+                     "async": True})
 
 
 def record_callback(env, store, log_instance: str, log_step: int,

@@ -106,24 +106,26 @@ def read_op(ctx, table: str, key: Any, attribute: str = "Value") -> Any:
     and the tail row itself is always re-read fresh.
     """
     step = ctx.next_step()
-    store = ctx.store
-    ctx.crash_point(f"read:{step}:start")
-    row = daal.fast_tail_row(store, table, key, ctx.tail_cache)
-    if row is not None:
-        value = row.get(attribute, daal.MISSING)
-    else:
-        skeleton = daal.load_skeleton(store, table, key,
-                                      cache=ctx.tail_cache)
-        if not skeleton.exists:
-            value = daal.MISSING
+    with ctx.trace("op.read", span_id=f"{ctx.instance_id}#{step}",
+                   step=step, table=table):
+        store = ctx.store
+        ctx.crash_point(f"read:{step}:start")
+        row = daal.fast_tail_row(store, table, key, ctx.tail_cache)
+        if row is not None:
+            value = row.get(attribute, daal.MISSING)
         else:
-            row = daal.read_row(store, table, key, skeleton.tail)
-            value = (row.get(attribute, daal.MISSING) if row
-                     else daal.MISSING)
-    ctx.crash_point(f"read:{step}:before-log")
-    value = _commit_read_log(ctx, step, value)
-    ctx.crash_point(f"read:{step}:after-log")
-    return value
+            skeleton = daal.load_skeleton(store, table, key,
+                                          cache=ctx.tail_cache)
+            if not skeleton.exists:
+                value = daal.MISSING
+            else:
+                row = daal.read_row(store, table, key, skeleton.tail)
+                value = (row.get(attribute, daal.MISSING) if row
+                         else daal.MISSING)
+        ctx.crash_point(f"read:{step}:before-log")
+        value = _commit_read_log(ctx, step, value)
+        ctx.crash_point(f"read:{step}:after-log")
+        return value
 
 
 def read_only_op(ctx, table: str, key: Any,
@@ -143,13 +145,16 @@ def read_only_op(ctx, table: str, key: Any,
     conditional log put is the serialization point.
     """
     step = ctx.next_step()
-    ctx.crash_point(f"roread:{step}:start")
-    value = daal.tail_value(ctx.store, table, key, cache=ctx.tail_cache,
-                            consistency=consistency)
-    ctx.crash_point(f"roread:{step}:before-log")
-    value = _commit_read_log(ctx, step, value)
-    ctx.crash_point(f"roread:{step}:after-log")
-    return value
+    with ctx.trace("op.roread", span_id=f"{ctx.instance_id}#{step}",
+                   step=step, table=table):
+        ctx.crash_point(f"roread:{step}:start")
+        value = daal.tail_value(ctx.store, table, key,
+                                cache=ctx.tail_cache,
+                                consistency=consistency)
+        ctx.crash_point(f"roread:{step}:before-log")
+        value = _commit_read_log(ctx, step, value)
+        ctx.crash_point(f"roread:{step}:after-log")
+        return value
 
 
 def record_op(ctx, compute) -> Any:
@@ -160,20 +165,22 @@ def record_op(ctx, compute) -> Any:
     deterministic under re-execution.
     """
     step = ctx.next_step()
-    store = ctx.store
-    existing = store.get(ctx.env.read_log, (ctx.instance_id, step))
-    if existing is not None:
-        return existing["Value"]
-    value = compute()
-    try:
-        store.put(ctx.env.read_log,
-                  {"InstanceId": ctx.instance_id, "Step": step,
-                   "Value": value},
-                  condition=AttrNotExists("InstanceId"))
-        return value
-    except ConditionFailed:
-        record = store.get(ctx.env.read_log, (ctx.instance_id, step))
-        return record["Value"] if record else value
+    with ctx.trace("op.record", span_id=f"{ctx.instance_id}#{step}",
+                   step=step):
+        store = ctx.store
+        existing = store.get(ctx.env.read_log, (ctx.instance_id, step))
+        if existing is not None:
+            return existing["Value"]
+        value = compute()
+        try:
+            store.put(ctx.env.read_log,
+                      {"InstanceId": ctx.instance_id, "Step": step,
+                       "Value": value},
+                      condition=AttrNotExists("InstanceId"))
+            return value
+        except ConditionFailed:
+            record = store.get(ctx.env.read_log, (ctx.instance_id, step))
+            return record["Value"] if record else value
 
 
 # ---------------------------------------------------------------------------
@@ -277,53 +284,57 @@ def write_op(ctx, table: str, key: Any, value: Any,
              head_extra: Optional[dict] = None) -> None:
     """Unconditional exactly-once write of ``Value``."""
     step = ctx.next_step()
-    log_key = encode(ctx.instance_id, step)
-    store = ctx.store
-    cache = ctx.tail_cache
-    ctx.crash_point(f"write:{step}:start")
-    status, payload, from_cache = _fast_start(ctx, table, key, log_key,
-                                              head_extra)
-    if status == "done":
-        return  # case A
-    row_id = payload
-    capacity = ctx.config.row_log_capacity
-    for _ in range(_MAX_CHAIN_STEPS):
-        ctx.crash_point(f"write:{step}:try:{row_id}")
-        try:
-            store.update(
-                table, (key, row_id),
-                [Set("Value", value),
-                 *_log_write_updates(log_key, True)],
-                condition=daal.case_b_condition(log_key, capacity))
-            if cache is not None:
-                cache.note_logged_write(table, key, row_id, log_key)
-            ctx.crash_point(f"write:{step}:done")
-            return  # case B
-        except ConditionFailed:
-            pass
-        row = daal.read_row(store, table, key, row_id)
-        if row is None:
-            if not from_cache:
-                raise BeldiError(f"row {row_id} vanished during write")
-            from_cache = False
-            status, payload = _reprobe_after_vanish(ctx, table, key,
-                                                    log_key, head_extra)
-            if status == "done":
-                return
-            row_id = payload
-            continue
-        from_cache = False
-        if log_key in (row.get("RecentWrites") or {}):
-            if cache is not None:
-                cache.remember_position(table, key, log_key, row_id)
+    with ctx.trace("op.write", span_id=f"{ctx.instance_id}#{step}",
+                   step=step, table=table):
+        log_key = encode(ctx.instance_id, step)
+        store = ctx.store
+        cache = ctx.tail_cache
+        ctx.crash_point(f"write:{step}:start")
+        status, payload, from_cache = _fast_start(ctx, table, key,
+                                                  log_key, head_extra)
+        if status == "done":
             return  # case A
-        if "NextRow" not in row:
-            row_id = daal.append_row(store, table, key, row,
-                                     ctx.fresh_row_id(),
-                                     cache=cache)  # case D
-        else:
-            row_id = row["NextRow"]  # case C
-    raise BeldiError("write did not terminate; chain unreasonably long")
+        row_id = payload
+        capacity = ctx.config.row_log_capacity
+        for _ in range(_MAX_CHAIN_STEPS):
+            ctx.crash_point(f"write:{step}:try:{row_id}")
+            try:
+                store.update(
+                    table, (key, row_id),
+                    [Set("Value", value),
+                     *_log_write_updates(log_key, True)],
+                    condition=daal.case_b_condition(log_key, capacity))
+                if cache is not None:
+                    cache.note_logged_write(table, key, row_id, log_key)
+                ctx.crash_point(f"write:{step}:done")
+                return  # case B
+            except ConditionFailed:
+                pass
+            row = daal.read_row(store, table, key, row_id)
+            if row is None:
+                if not from_cache:
+                    raise BeldiError(
+                        f"row {row_id} vanished during write")
+                from_cache = False
+                status, payload = _reprobe_after_vanish(
+                    ctx, table, key, log_key, head_extra)
+                if status == "done":
+                    return
+                row_id = payload
+                continue
+            from_cache = False
+            if log_key in (row.get("RecentWrites") or {}):
+                if cache is not None:
+                    cache.remember_position(table, key, log_key, row_id)
+                return  # case A
+            if "NextRow" not in row:
+                row_id = daal.append_row(store, table, key, row,
+                                         ctx.fresh_row_id(),
+                                         cache=cache)  # case D
+            else:
+                row_id = row["NextRow"]  # case C
+        raise BeldiError(
+            "write did not terminate; chain unreasonably long")
 
 
 # ---------------------------------------------------------------------------
@@ -345,72 +356,77 @@ def cond_write_op(ctx, table: str, key: Any,
     B2 path that merely records a false condition.
     """
     step = ctx.next_step()
-    log_key = encode(ctx.instance_id, step)
-    store = ctx.store
-    cache = ctx.tail_cache
-    ctx.crash_point(f"condwrite:{step}:start")
-    status, payload, from_cache = _fast_start(ctx, table, key, log_key,
-                                              head_extra)
-    if status == "done":
-        return bool(payload)  # case A
-    row_id = payload
-    capacity = ctx.config.row_log_capacity
-    success_updates: list[UpdateAction] = []
-    if set_value:
-        success_updates.append(Set("Value", value))
-    success_updates.extend(extra_updates)
-    for _ in range(_MAX_CHAIN_STEPS):
-        ctx.crash_point(f"condwrite:{step}:try:{row_id}")
-        case_b = daal.case_b_condition(log_key, capacity)
-        try:
-            store.update(
-                table, (key, row_id),
-                [*success_updates, *_log_write_updates(log_key, True)],
-                condition=And(condition, case_b))
-            if cache is not None:
-                cache.note_logged_write(table, key, row_id, log_key)
-            ctx.crash_point(f"condwrite:{step}:done")
-            return True  # case B1
-        except ConditionFailed:
-            pass
-        # The serialization point is the attempt above: recording False
-        # here is valid even if the user condition has become true since
-        # (Appendix A).
-        try:
-            store.update(
-                table, (key, row_id),
-                _log_write_updates(log_key, False),
-                condition=case_b)
-            if cache is not None:
-                cache.note_logged_write(table, key, row_id, log_key)
-            ctx.crash_point(f"condwrite:{step}:done")
-            return False  # case B2
-        except ConditionFailed:
-            pass
-        row = daal.read_row(store, table, key, row_id)
-        if row is None:
-            if not from_cache:
-                raise BeldiError(f"row {row_id} vanished during condWrite")
+    with ctx.trace("op.cond_write", span_id=f"{ctx.instance_id}#{step}",
+                   step=step, table=table):
+        log_key = encode(ctx.instance_id, step)
+        store = ctx.store
+        cache = ctx.tail_cache
+        ctx.crash_point(f"condwrite:{step}:start")
+        status, payload, from_cache = _fast_start(ctx, table, key,
+                                                  log_key, head_extra)
+        if status == "done":
+            return bool(payload)  # case A
+        row_id = payload
+        capacity = ctx.config.row_log_capacity
+        success_updates: list[UpdateAction] = []
+        if set_value:
+            success_updates.append(Set("Value", value))
+        success_updates.extend(extra_updates)
+        for _ in range(_MAX_CHAIN_STEPS):
+            ctx.crash_point(f"condwrite:{step}:try:{row_id}")
+            case_b = daal.case_b_condition(log_key, capacity)
+            try:
+                store.update(
+                    table, (key, row_id),
+                    [*success_updates,
+                     *_log_write_updates(log_key, True)],
+                    condition=And(condition, case_b))
+                if cache is not None:
+                    cache.note_logged_write(table, key, row_id, log_key)
+                ctx.crash_point(f"condwrite:{step}:done")
+                return True  # case B1
+            except ConditionFailed:
+                pass
+            # The serialization point is the attempt above: recording
+            # False here is valid even if the user condition has become
+            # true since (Appendix A).
+            try:
+                store.update(
+                    table, (key, row_id),
+                    _log_write_updates(log_key, False),
+                    condition=case_b)
+                if cache is not None:
+                    cache.note_logged_write(table, key, row_id, log_key)
+                ctx.crash_point(f"condwrite:{step}:done")
+                return False  # case B2
+            except ConditionFailed:
+                pass
+            row = daal.read_row(store, table, key, row_id)
+            if row is None:
+                if not from_cache:
+                    raise BeldiError(
+                        f"row {row_id} vanished during condWrite")
+                from_cache = False
+                status, payload = _reprobe_after_vanish(
+                    ctx, table, key, log_key, head_extra)
+                if status == "done":
+                    return bool(payload)
+                row_id = payload
+                continue
             from_cache = False
-            status, payload = _reprobe_after_vanish(ctx, table, key,
-                                                    log_key, head_extra)
-            if status == "done":
-                return bool(payload)
-            row_id = payload
-            continue
-        from_cache = False
-        writes = row.get("RecentWrites") or {}
-        if log_key in writes:
-            if cache is not None:
-                cache.remember_position(table, key, log_key, row_id)
-            return bool(writes[log_key])  # case A
-        if "NextRow" not in row:
-            row_id = daal.append_row(store, table, key, row,
-                                     ctx.fresh_row_id(),
-                                     cache=cache)  # case D
-        else:
-            row_id = row["NextRow"]  # case C
-    raise BeldiError("condWrite did not terminate; chain unreasonably long")
+            writes = row.get("RecentWrites") or {}
+            if log_key in writes:
+                if cache is not None:
+                    cache.remember_position(table, key, log_key, row_id)
+                return bool(writes[log_key])  # case A
+            if "NextRow" not in row:
+                row_id = daal.append_row(store, table, key, row,
+                                         ctx.fresh_row_id(),
+                                         cache=cache)  # case D
+            else:
+                row_id = row["NextRow"]  # case C
+        raise BeldiError(
+            "condWrite did not terminate; chain unreasonably long")
 
 
 def _only_hit(skeleton: daal.Skeleton) -> bool:

@@ -83,6 +83,7 @@ class BeldiRuntime:
                  async_io: Optional[bool] = None,
                  batch_log_writes: Optional[bool] = None,
                  elastic: Optional[bool] = None,
+                 observability: Optional[bool] = None,
                  env_prefix: str = "") -> None:
         """``shards > 1`` partitions storage across that many simulated
         store nodes behind a :class:`~repro.kvstore.ShardedStore` — each
@@ -125,6 +126,12 @@ class BeldiRuntime:
         runtimes have nothing to balance; and below the detector's
         trigger thresholds an elastic runtime is bit-for-bit the static
         one (pinned by ``tests/core/test_elasticity_flags.py``).
+
+        ``observability`` overrides :attr:`BeldiConfig.observability`
+        (default *off*): virtual-time tracing + unified metrics
+        (``repro.obs``, ``docs/observability.md``). Pure recording —
+        behavior and virtual time are identical either way, and the
+        off-state never constructs the observability objects at all.
         """
         self.kernel = kernel or SimKernel(seed=seed)
         self.rand = RandomSource(seed, "beldi")
@@ -142,6 +149,8 @@ class BeldiRuntime:
             overrides["batch_log_writes"] = bool(batch_log_writes)
         if elastic is not None:
             overrides["elastic"] = bool(elastic)
+        if observability is not None:
+            overrides["observability"] = bool(observability)
         if overrides:
             # Copy before overriding: the caller may share one config
             # across runtimes, and the overrides are per-runtime.
@@ -216,6 +225,19 @@ class BeldiRuntime:
                 load_ratio=self.config.elastic_load_ratio,
                 max_moves=self.config.elastic_max_moves,
                 tolerance=self.config.elastic_tolerance)
+        #: Virtual-time tracing + metrics (``repro.obs``). ``None`` when
+        #: the flag is off — every hook then costs one attribute check.
+        #: Runtimes sharing one store (the concurrent DST harness) share
+        #: one :class:`~repro.obs.Observability`, so the trace
+        #: interleaves all of them on the one kernel clock.
+        self.obs = None
+        if self.config.observability:
+            from repro.obs import Observability
+            self.obs = getattr(self.store, "obs", None) or Observability(
+                self.kernel)
+            self.obs.attach_store(self.store)
+            if getattr(self.kernel, "tracer", None) is None:
+                self.kernel.tracer = self.obs.tracer
         self.platform = platform or ServerlessPlatform(
             self.kernel, rand=self.rand.child("platform"),
             latency=latency, config=platform_config)
@@ -358,6 +380,23 @@ class BeldiRuntime:
 
     def _handle_call(self, ssf: SSFDefinition,
                      platform_ctx: InvocationContext, payload: dict) -> Any:
+        if self.obs is None:
+            return self._run_call(ssf, platform_ctx, payload)
+        instance_id = payload.get("instance_id") or platform_ctx.request_id
+        caller = payload.get("caller")
+        # A sync callee's whole execution sits inside the caller's
+        # invoke-step span; the two run on different worker threads, so
+        # the edge is an explicit parent reference, not stack nesting.
+        parent = (f"{caller['instance_id']}#{caller['step']}"
+                  if caller and not payload.get("async") else None)
+        with self.obs.tracer.span(f"request:{ssf.name}", cat="request",
+                                  span_id=instance_id, parent_id=parent,
+                                  function=ssf.name,
+                                  invocation=platform_ctx.invocation_index):
+            return self._run_call(ssf, platform_ctx, payload)
+
+    def _run_call(self, ssf: SSFDefinition,
+                  platform_ctx: InvocationContext, payload: dict) -> Any:
         env = ssf.env
         instance_id = payload.get("instance_id") or platform_ctx.request_id
         is_async = bool(payload.get("async"))

@@ -115,6 +115,9 @@ def tx_lock(ctx, short: str, key: Any) -> None:
                 "OwnerInstance": owner_instance_of(txn.txn_id),
             })
             txn.locked.add((short, key))
+            obs = ctx.obs
+            if obs is not None:
+                obs.metrics.inc("txn.locks_acquired")
             # Schedule-exploration point: the window right after a lock
             # grant is where a conflicting transaction's probe lands.
             ctx.interleave(f"lock:acquired:{short}:{key}")
@@ -124,10 +127,16 @@ def tx_lock(ctx, short: str, key: Any) -> None:
             continue  # released between our probe and read; try again
         holder_rank = (holder.get("Ts", 0.0), holder.get("Id", ""))
         if holder_rank <= txn.priority():
+            obs = ctx.obs
+            if obs is not None:
+                obs.metrics.inc("txn.wait_die_aborts")
             ctx.interleave(f"lock:die:{short}:{key}")
             raise TxnAborted(
                 f"wait-die: {txn.txn_id} dies to older {holder.get('Id')} "
                 f"on {short}:{key}")
+        obs = ctx.obs
+        if obs is not None:
+            obs.metrics.inc("txn.lock_waits")
         ctx.interleave(f"lock:wait:{short}:{key}")
         attempts += 1
         if attempts > ctx.config.lock_retry_limit:
@@ -202,6 +211,19 @@ def resolve_local(env: BeldiEnv, txn_id: str, mode: str,
     idempotent — overlap changes when virtual time passes, never which
     conditional writes land.
     """
+    obs = getattr(env.store, "obs", None)
+    if obs is None:
+        return _resolve_local(env, txn_id, mode, cache, batch, async_io)
+    with obs.tracer.span("txn.resolve", cat="txn", mode=mode,
+                         txn=txn_id):
+        stats = _resolve_local(env, txn_id, mode, cache, batch, async_io)
+    obs.metrics.inc("txn.flushed", stats["flushed"])
+    obs.metrics.inc("txn.released", stats["released"])
+    return stats
+
+
+def _resolve_local(env: BeldiEnv, txn_id: str, mode: str,
+                   cache, batch: bool, async_io: bool) -> dict:
     store = env.store
     stats = {"flushed": 0, "released": 0}
     if mode == COMMIT:
@@ -333,13 +355,17 @@ def finish_transaction(ctx, commit: bool) -> str:
         # begin/end pairs are ignored (§6.2).
         return "inherited"
     mode = COMMIT if commit and not txn.aborted else ABORT
-    ctx.crash_point(f"txn:{txn.txn_id}:resolving:{mode}")
-    resolve_local(ctx.env, txn.txn_id, mode, cache=ctx.tail_cache,
-                  batch=getattr(ctx.config, "batch_reads", False),
-                  async_io=getattr(ctx.config, "async_io", False))
-    ctx.crash_point(f"txn:{txn.txn_id}:resolved-local")
-    propagate_signal(ctx, ctx.instance_id, txn.payload(mode))
-    ctx.crash_point(f"txn:{txn.txn_id}:propagated")
+    with ctx.trace(f"txn.finish:{mode}", cat="txn", txn=txn.txn_id):
+        ctx.crash_point(f"txn:{txn.txn_id}:resolving:{mode}")
+        resolve_local(ctx.env, txn.txn_id, mode, cache=ctx.tail_cache,
+                      batch=getattr(ctx.config, "batch_reads", False),
+                      async_io=getattr(ctx.config, "async_io", False))
+        ctx.crash_point(f"txn:{txn.txn_id}:resolved-local")
+        propagate_signal(ctx, ctx.instance_id, txn.payload(mode))
+        ctx.crash_point(f"txn:{txn.txn_id}:propagated")
+    obs = ctx.obs
+    if obs is not None:
+        obs.metrics.inc("txn.commit" if mode == COMMIT else "txn.abort")
     ctx.txn = None
     return mode
 

@@ -158,6 +158,18 @@ class Metering:
         moves (writes always go through the leader at full price)."""
         return self.total("read_units") * DOLLARS_PER_READ_UNIT
 
+    def totals(self) -> dict:
+        """Cross-op rollup (requests, units, dollars) — the shape the
+        observability snapshot and bench JSON reports embed."""
+        return {
+            "dollars": round(self.dollar_cost(), 9),
+            "eventual_reads": int(self.total("eventual_count")),
+            "items": int(self.total("items")),
+            "read_units": round(self.total("read_units"), 3),
+            "requests": self.op_count,
+            "write_units": round(self.total("write_units"), 3),
+        }
+
     def snapshot(self) -> dict:
         """A plain-dict view, convenient for bench reporting."""
         return {

@@ -249,6 +249,13 @@ class ChainMigrator:
             if self.on_moved is not None:
                 self.on_moved(table, key)
         self.stats.migrations += len(committed)
+        obs = getattr(self.store, "obs", None)
+        if obs is not None and committed:
+            obs.tracer.event(
+                "migration:committed", cat="elasticity",
+                moves=[[table, str(target)] for _token, table, _key,
+                       _source, target, _rows in committed])
+            obs.metrics.inc("elasticity.migrations", len(committed))
         return len(committed)
 
     # -- phases ----------------------------------------------------------------

@@ -256,6 +256,9 @@ class ReplicaGroup:
         self.lag_scale = lag_scale
         self.time = leader.time
         self.stats = ReplicationStats()
+        #: Observability hub (``repro.obs``); attached by an
+        #: observability-enabled runtime, ``None`` otherwise.
+        self.obs = None
         #: Sequence number of the last committed record. The durable
         #: log itself is materialized as each follower's ``pending``
         #: deque — exactly the unacked suffix that follower (or a
@@ -541,6 +544,13 @@ class ReplicaGroup:
         promoted.last_visible = now
         self.stats.failovers += 1
         self.stats.replayed += len(replay)
+        if self.obs is not None:
+            self.obs.tracer.event(
+                f"failover:shard{self.shard_id}", cat="replication",
+                promoted=promoted_index, replayed=len(replay),
+                shard=self.shard_id)
+            self.obs.metrics.inc("replication.failovers")
+            self.obs.metrics.inc("replication.replayed", len(replay))
         # ``pay`` (not ``sleep``): a failover tripped inside an overlap
         # scope must defer its cost like any other store latency — a
         # scope body may never yield to the kernel mid-flight.

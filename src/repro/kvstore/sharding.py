@@ -418,6 +418,9 @@ class ShardedStore:
         #: cross-shard transaction rounds) instead of serializing their
         #: virtual latency. Off = the sequential model, bit-for-bit.
         self.async_io = async_io
+        #: Observability hub (``repro.obs``); attached by an
+        #: observability-enabled runtime, ``None`` otherwise.
+        self.obs = None
         self._schemas: dict[str, KeySchema] = {}
         self._views: dict[str, ShardedTableView] = {}
         # -- elasticity bookkeeping (dormant until enable_elasticity) --
@@ -938,6 +941,9 @@ class ShardedStore:
                 with scope.branch():
                     self.nodes[shard]._pay("db.txn",
                                            units=len(groups[shard]))
+        if self.obs is not None:
+            self.obs.tracer.event("2pc:prepared", cat="txn",
+                                  shards=sorted(groups))
         self._interleave("2pc:prepared")
         # Phase 2 latency: one commit round per involved shard.
         with overlap(self, enabled=self.async_io) as scope:
@@ -945,6 +951,9 @@ class ShardedStore:
                 with scope.branch():
                     self.nodes[shard]._pay("db.txn",
                                            units=len(groups[shard]))
+        if self.obs is not None:
+            self.obs.tracer.event("2pc:committed", cat="txn",
+                                  shards=sorted(groups))
         self._interleave("2pc:committed")
         # Decision + apply under every involved table's lock.
         tables: dict[tuple, Table] = {}

@@ -217,6 +217,10 @@ class KVStore:
         self.queue = (ServiceCapacity(capacity)
                       if capacity is not None else None)
         self.metering = Metering()
+        #: Observability hub (``repro.obs``), attached by an
+        #: observability-enabled runtime; ``None`` (the default) skips
+        #: every recording hook with one attribute check.
+        self.obs = None
         self._tables: dict[str, Table] = {}
 
     # -- table management ------------------------------------------------------
@@ -275,6 +279,20 @@ class KVStore:
                 self.time.now() + self.time.pending_offset(), service)
         self.time.pay(service)
 
+    def _span(self, op: str, table: str, start: float, **args) -> None:
+        """Record one store round-trip span (no-op without a tracer).
+
+        Span names mirror the metering op keys exactly, so every
+        metered request has exactly one ``store.<op>`` span — the
+        parity the observability tests pin.
+        """
+        obs = self.obs
+        if obs is not None:
+            obs.tracer.record_span(
+                f"store.{op}", cat="store", start=start,
+                end=self.time.now(), shard=self.shard_id, table=table,
+                **args)
+
     def _pay(self, op: str, units: float = 0.0) -> None:
         if self._throttled(op):
             raise ThrottledError(f"{op} throttled")
@@ -294,11 +312,13 @@ class KVStore:
         routes eventual reads to a possibly-lagging follower.
         """
         tbl = self.table(table)
+        start = self.time.now()
         self._pay("db.read")
         item = tbl.get(key, projection=projection)
         nbytes = item_size(item) if item else 0
         self.metering.record_read("read", table, nbytes,
                                   consistency=consistency)
+        self._span("read", table, start)
         return item
 
     def batch_get(self, table: str, keys: Sequence[Any],
@@ -323,6 +343,7 @@ class KVStore:
         if not keys:
             return BatchGetResult()
         tbl = self.table(table)
+        start = self.time.now()
         served = len(keys)
         if self._throttled("db.batch_read"):
             served = self.rand.randint(0, len(keys) - 1)
@@ -338,6 +359,7 @@ class KVStore:
         items.extend(None for _ in range(len(keys) - served))
         self.metering.record_read("batch_get", table, total_bytes,
                                   items=served, consistency=consistency)
+        self._span("batch_get", table, start, items=served)
         return BatchGetResult(items,
                               unprocessed_indexes=range(served, len(keys)),
                               keys=keys)
@@ -382,6 +404,7 @@ class KVStore:
                     "batch_write may not touch the same key twice in "
                     "one request")
             touched.add(token)
+        start = self.time.now()
         served = total
         if self._throttled("db.batch_write"):
             served = self.rand.randint(0, total - 1)
@@ -398,6 +421,7 @@ class KVStore:
             removed = tbl.delete(key)
             sizes.append(item_size(removed) if removed else 0)
         self.metering.record_batch_write("batch_write", table, sizes)
+        self._span("batch_write", table, start, items=served)
         return BatchWriteResult(
             unprocessed_puts=puts[served_puts:],
             unprocessed_deletes=deletes[served_deletes:])
@@ -406,31 +430,35 @@ class KVStore:
             condition: Optional[Condition] = None) -> None:
         tbl = self.table(table)
         op = "db.cond_write" if condition is not None else "db.write"
+        start = self.time.now()
         self._pay(op)
         tbl.put(item, condition=condition)
-        self.metering.record_write(
-            "cond_write" if condition is not None else "write",
-            table, item_size(item))
+        kind = "cond_write" if condition is not None else "write"
+        self.metering.record_write(kind, table, item_size(item))
+        self._span(kind, table, start)
 
     def update(self, table: str, key: Any,
                updates: Sequence[UpdateAction],
                condition: Optional[Condition] = None) -> dict:
         tbl = self.table(table)
         op = "db.cond_write" if condition is not None else "db.write"
+        start = self.time.now()
         self._pay(op)
         new_item = tbl.update(key, updates, condition=condition)
-        self.metering.record_write(
-            "cond_write" if condition is not None else "write",
-            table, item_size(new_item))
+        kind = "cond_write" if condition is not None else "write"
+        self.metering.record_write(kind, table, item_size(new_item))
+        self._span(kind, table, start)
         return new_item
 
     def delete(self, table: str, key: Any,
                condition: Optional[Condition] = None) -> Optional[dict]:
         tbl = self.table(table)
+        start = self.time.now()
         self._pay("db.delete")
         removed = tbl.delete(key, condition=condition)
         self.metering.record_write("delete", table,
                                    item_size(removed) if removed else 0)
+        self._span("delete", table, start)
         return removed
 
     # -- queries/scans --------------------------------------------------------------
@@ -443,6 +471,7 @@ class KVStore:
               reverse: bool = False,
               consistency: Optional[str] = None) -> QueryResult:
         tbl = self.table(table)
+        start = self.time.now()
         result = tbl.query(hash_value, range_condition=range_condition,
                            filter_condition=filter_condition,
                            projection=projection, limit=limit,
@@ -451,6 +480,7 @@ class KVStore:
         self.metering.record_read("query", table, result.consumed_bytes,
                                   items=max(1, result.scanned_count),
                                   consistency=consistency)
+        self._span("query", table, start)
         return result
 
     def scan(self, table: str,
@@ -460,6 +490,7 @@ class KVStore:
              exclusive_start: Optional[Any] = None,
              consistency: Optional[str] = None) -> ScanResult:
         tbl = self.table(table)
+        start = self.time.now()
         result = tbl.scan(filter_condition=filter_condition,
                           projection=projection, limit=limit,
                           exclusive_start=exclusive_start)
@@ -467,18 +498,21 @@ class KVStore:
         self.metering.record_read("scan", table, result.consumed_bytes,
                                   items=max(1, result.scanned_count),
                                   consistency=consistency)
+        self._span("scan", table, start)
         return result
 
     def query_index(self, table: str, index_name: str, value: Any,
                     projection: Optional[Projection] = None,
                     consistency: Optional[str] = None) -> list[dict]:
         tbl = self.table(table)
+        start = self.time.now()
         items = tbl.query_index(index_name, value, projection=projection)
         self._pay("db.query", units=len(items))
         nbytes = sum(item_size(it) for it in items)
         self.metering.record_read("query_index", table, nbytes,
                                   items=max(1, len(items)),
                                   consistency=consistency)
+        self._span("query_index", table, start)
         return items
 
     # -- cross-table transactions ------------------------------------------------------
@@ -530,6 +564,7 @@ class KVStore:
     def _transact_apply(self, ops: Sequence[TransactOp]) -> None:
         """Phase 2: apply (conditions re-checked by the table; they
         cannot fail because every table lock is held)."""
+        start = self.time.now()
         total_bytes = 0
         for op in ops:
             tbl = self.table(op.table)
@@ -544,6 +579,7 @@ class KVStore:
                 tbl.delete(op.key, condition=op.condition)
         self.metering.record_write("transact_write", ops[0].table,
                                    total_bytes)
+        self._span("transact_write", ops[0].table, start, items=len(ops))
 
     # -- stats ---------------------------------------------------------------------------
     def time_sources(self) -> list[TimeSource]:

@@ -61,6 +61,11 @@ class InvocationContext:
         policy = self.platform.crash_policy
         if policy.should_crash(self.function, self.invocation_index, tag):
             self.platform.stats.injected_crashes += 1
+            tracer = getattr(self.platform.kernel, "tracer", None)
+            if tracer is not None:
+                tracer.event(f"crash:{tag}", cat="fault",
+                             function=self.function,
+                             invocation=self.invocation_index)
             raise ProcessCrashed()
         # Crash points double as interleave points: under an exploring
         # schedule the kernel may run another ready process here. A no-op

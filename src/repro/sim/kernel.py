@@ -178,6 +178,10 @@ class Process:
             return
         self.killed = True
         self._kill_exc = ProcessCrashed() if crash else ProcessKilled()
+        tracer = getattr(self._kernel, "tracer", None)
+        if tracer is not None:
+            tracer.event("kill", cat="fault", crash=crash,
+                         process=self.name)
         # A process blocked in wait() must stop being a waiter right away:
         # a later set() would otherwise schedule a dead wakeup for it.
         waiting = self._waiting_on
@@ -274,6 +278,11 @@ class SimKernel:
         #: determinism and replay assertions.
         self.capture_trace = False
         self.fired_trace: list[tuple[float, str]] = []
+        #: Optional :class:`repro.obs.Tracer` recording schedule/fault
+        #: events (interleave yields, kills) in virtual time. Installed
+        #: by an observability-enabled runtime; ``None`` costs one
+        #: attribute check per event.
+        self.tracer = None
         self._queue: list[
             tuple[float, int, int, str, Callable[[], bool]]] = []
         self._seq = itertools.count()
@@ -464,6 +473,9 @@ class SimKernel:
         proc = self.current_process
         if proc is None:
             return
+        if self.tracer is not None:
+            self.tracer.event(f"interleave:{tag}", cat="schedule",
+                              process=proc.name)
         self._schedule(0.0, proc._make_wakeup(("interleave", tag)),
                        label=f"{proc.name}:interleave:{tag}")
         proc._block()

@@ -106,6 +106,8 @@ class LoadResult:
             "achieved_rps": round(self.achieved_rate, 1),
             "p50_ms": round(self.recorder.p50, 1)
             if self.recorder.samples else None,
+            "p95_ms": round(self.recorder.percentile(95.0), 1)
+            if self.recorder.samples else None,
             "p99_ms": round(self.recorder.p99, 1)
             if self.recorder.samples else None,
             "completed": self.completed,

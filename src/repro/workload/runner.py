@@ -45,6 +45,8 @@ class ClosedLoopResult:
             "throughput_rps": round(self.throughput_rps, 1),
             "p50_ms": round(self.recorder.p50, 1)
             if self.recorder.samples else None,
+            "p95_ms": round(self.recorder.percentile(95.0), 1)
+            if self.recorder.samples else None,
             "p99_ms": round(self.recorder.p99, 1)
             if self.recorder.samples else None,
         }
@@ -69,6 +71,7 @@ def run_closed_loop(runtime: Any, entry: str,
                                        TooManyRequests)
     result = ClosedLoopResult(makespan_ms=0.0, failures=0)
     finished_at = [0.0]
+    obs = getattr(runtime, "obs", None)
 
     def user(payloads: Sequence[Any]) -> None:
         for payload in payloads:
@@ -77,8 +80,14 @@ def run_closed_loop(runtime: Any, entry: str,
                 runtime.client_call(entry, payload)
             except (FunctionCrashed, FunctionTimeout, TooManyRequests):
                 result.failures += 1
+                if obs is not None:
+                    obs.metrics.inc("request.failed")
                 continue
             result.recorder.record(start, runtime.kernel.now)
+            if obs is not None:
+                obs.metrics.inc("request.completed")
+                obs.metrics.observe("request.latency_ms",
+                                    runtime.kernel.now - start)
         finished_at[0] = max(finished_at[0], runtime.kernel.now)
 
     start = runtime.kernel.now

@@ -58,7 +58,7 @@ DEEP_FLAGS = dict(tail_cache=True, batch_reads=True,
                   elastic_min_window=8, elastic_load_ratio=1.01,
                   elastic_max_moves=4, elastic_tolerance=0.0,
                   shards=2, replicas=3, leader_crash=0.02,
-                  read_consistency="eventual")
+                  read_consistency="eventual", observability=True)
 
 # Exploration topology: same sharding + elasticity (the conflict sites we
 # perturb), but single replicas and no injected leader crashes so one run
@@ -68,7 +68,7 @@ LIGHT_FLAGS = dict(tail_cache=True, batch_reads=True,
                    elastic=True, elastic_check_every=2,
                    elastic_min_window=8, elastic_load_ratio=1.01,
                    elastic_max_moves=4, elastic_tolerance=0.0,
-                   shards=2)
+                   shards=2, observability=True)
 
 
 @dataclass
@@ -396,7 +396,7 @@ def explore(seeds, flags: dict = LIGHT_FLAGS,
             traces.add(tuple(h.kernel.schedule_trace))
         except AssertionError as exc:
             trace = list(h.kernel.schedule_trace)
-            _write_failure_artifact(seed, trace, exc)
+            _write_failure_artifact(seed, trace, exc, h)
             raise ScheduleFailure(seed, trace, exc) from exc
         finally:
             h.shutdown()
@@ -404,14 +404,24 @@ def explore(seeds, flags: dict = LIGHT_FLAGS,
 
 
 def _write_failure_artifact(seed: int, trace: list,
-                            exc: BaseException) -> None:
+                            exc: BaseException,
+                            h: Optional[Harness] = None) -> None:
     path = os.environ.get("DST_FAILURE_FILE")
     if not path:
         return
+    artifact = {"seed": seed, "trace": trace,
+                "replay": format_failure(seed, trace),
+                "error": str(exc)}
+    obs = getattr(h.travel, "obs", None) if h is not None else None
+    if obs is not None:
+        # Attach the virtual-time trace and the unified metrics snapshot
+        # of the failing run, so the artifact alone explains *what the
+        # system was doing* when the invariant broke — load the
+        # chrome_trace value into chrome://tracing / Perfetto.
+        artifact["chrome_trace"] = obs.tracer.to_chrome()
+        artifact["metrics"] = obs.snapshot(h.travel)
     try:
         with open(path, "w") as fh:
-            json.dump({"seed": seed, "trace": trace,
-                       "replay": format_failure(seed, trace),
-                       "error": str(exc)}, fh, indent=2)
-    except OSError:
+            json.dump(artifact, fh, indent=2)
+    except (OSError, TypeError, ValueError):
         pass  # never mask the real failure with an artifact-write error

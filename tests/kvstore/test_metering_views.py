@@ -1,0 +1,193 @@
+"""Merged metering views: per-node books vs the facade rollups.
+
+The observability snapshot (``repro.obs``), the bench JSON reports and
+the shard dashboards all read metering through two merged views —
+``ShardedStore.metering`` (sum of per-node books) and
+``ReplicaGroup.metering`` (leader + followers). These tests pin the
+accounting identities those views rely on:
+
+- facade totals equal the sum of the per-shard books, op by op;
+- eventual-read counters survive the merge (per-op ``eventual_count``
+  and the ``per_table_eventual`` audit counter alike);
+- a batched write bills the same write units as the equivalent
+  sequential writes — only the request ``count`` differs.
+"""
+
+import pytest
+
+from repro.kvstore import KVStore, ReplicaGroup, ShardedStore
+from repro.kvstore.store import NullTimeSource
+from repro.sim import LatencyModel, RandomSource
+
+
+def make_sharded(n=4):
+    nodes = [KVStore(rand=RandomSource(i, "node"), shard_id=i)
+             for i in range(n)]
+    store = ShardedStore(nodes)
+    store.create_table("data", hash_key="Key")
+    return store
+
+
+def make_group(n_replicas=3, seed=7, create=True):
+    clock = NullTimeSource()
+    nodes = [KVStore(time_source=clock, rand=RandomSource(seed + i, "n"),
+                     shard_id=0)
+             for i in range(n_replicas)]
+    group = ReplicaGroup(
+        nodes[0], nodes[1:], rand=RandomSource(seed, "repl"),
+        latency=LatencyModel(RandomSource(seed, "repl-lat")))
+    if create:
+        group.create_table("data", hash_key="Key")
+    return group, clock
+
+
+def merged_equals_sum(facade, nodes):
+    """Assert the facade's merged book is exactly the per-node sum."""
+    merged = facade.metering
+    ops = set(merged.ops)
+    assert ops == {op for node in nodes for op in node.metering.ops}
+    for op in ops:
+        rec = merged.ops[op]
+        for field in ("count", "items", "bytes_read", "bytes_written",
+                      "eventual_count"):
+            assert getattr(rec, field) == sum(
+                getattr(node.metering.ops.get(op), field, 0)
+                for node in nodes if op in node.metering.ops), (op, field)
+        for field in ("read_units", "write_units"):
+            assert getattr(rec, field) == pytest.approx(sum(
+                getattr(node.metering.ops[op], field)
+                for node in nodes if op in node.metering.ops)), (op, field)
+
+
+class TestShardedMergedView:
+    def test_facade_totals_are_per_shard_sums(self):
+        store = make_sharded(4)
+        for i in range(40):
+            store.put("data", {"Key": f"k{i}", "V": "x" * (i * 40)})
+        for i in range(0, 40, 3):
+            store.get("data", f"k{i}")
+        store.query("data", "k0")
+        merged_equals_sum(store, store.nodes)
+        # Every shard took traffic, so the identity is not vacuous.
+        assert all(node.metering.op_count > 0 for node in store.nodes)
+        assert store.metering.op_count == sum(
+            node.metering.op_count for node in store.nodes)
+        assert store.metering.dollar_cost() == pytest.approx(sum(
+            node.metering.dollar_cost() for node in store.nodes))
+
+    def test_totals_rollup_matches_merged_ops(self):
+        store = make_sharded(2)
+        for i in range(10):
+            store.put("data", {"Key": f"k{i}", "V": i})
+            store.get("data", f"k{i}")
+        totals = store.metering.totals()
+        assert totals["requests"] == store.metering.op_count == 20
+        assert totals["dollars"] == pytest.approx(
+            store.metering.dollar_cost(), abs=1e-12)
+        assert totals["eventual_reads"] == 0
+
+    def test_eventual_counters_survive_the_merge(self):
+        store = make_sharded(4)
+        keys = [f"k{i}" for i in range(20)]
+        for key in keys:
+            store.put("data", {"Key": key, "V": 1})
+        for key in keys:
+            store.get("data", key, consistency="eventual")
+        for key in keys[:5]:
+            store.get("data", key)  # strong
+        merged = store.metering
+        assert merged.ops["read"].eventual_count == 20
+        assert merged.ops["read"].count == 25
+        assert merged.per_table_eventual["data"] == 20
+        assert merged.per_table["data"] > 20
+        # Eventual reads bill half a unit: 20 half + 5 full.
+        assert merged.ops["read"].read_units == pytest.approx(15.0)
+        merged_equals_sum(store, store.nodes)
+
+
+class TestReplicaGroupMergedView:
+    def test_group_view_is_leader_plus_followers(self):
+        group, clock = make_group(3)
+        for i in range(10):
+            group.put("data", {"Key": f"k{i}", "V": i})
+        clock.sleep(300.0)  # past every clamped ship delay
+        for i in range(10):
+            group.get("data", f"k{i}", consistency="eventual")
+        nodes = [group.leader] + list(group.followers)
+        merged_equals_sum(group, nodes)
+        # Writes stay on the leader's book; follower books only ever
+        # see the eventually consistent reads routed to them.
+        assert group.leader.metering.total("write_units") > 0
+        for follower in group.followers:
+            assert follower.metering.total("write_units") == 0
+        follower_reads = sum(f.metering.ops["read"].eventual_count
+                             for f in group.followers
+                             if "read" in f.metering.ops)
+        assert follower_reads == 10
+        assert group.metering.ops["read"].eventual_count == 10
+        assert group.metering.per_table_eventual["data"] == 10
+
+    def test_sharded_over_groups_merges_recursively(self):
+        """ShardedStore of ReplicaGroups: the top-level facade still sums
+        to the leaves — the exact path the observability per-shard
+        snapshot reads."""
+        groups, clocks = [], []
+        for shard in range(2):
+            group, clock = make_group(2, seed=11 + shard, create=False)
+            groups.append(group)
+            clocks.append(clock)
+        store = ShardedStore(groups)
+        store.create_table("data", hash_key="Key")
+        for i in range(20):
+            store.put("data", {"Key": f"k{i}", "V": i})
+        for clock in clocks:
+            clock.sleep(300.0)
+        for i in range(20):
+            store.get("data", f"k{i}", consistency="eventual")
+        leaves = [node for group in groups
+                  for node in [group.leader] + list(group.followers)]
+        merged_equals_sum(store, leaves)
+        assert store.metering.ops["read"].eventual_count == 20
+
+
+class TestBatchWriteUnitParity:
+    def test_batched_bills_like_sequential_except_request_count(self):
+        sizes = [10, 900, 1500, 5000]  # spans the 1 KB unit boundary
+        sequential = KVStore()
+        sequential.create_table("data", hash_key="Key")
+        for i, size in enumerate(sizes):
+            sequential.put("data", {"Key": f"k{i}", "V": "x" * size})
+        batched = KVStore()
+        batched.create_table("data", hash_key="Key")
+        batched.batch_write(
+            "data", puts=[{"Key": f"k{i}", "V": "x" * size}
+                          for i, size in enumerate(sizes)])
+        seq_rec = sequential.metering.ops["write"]
+        bat_rec = batched.metering.ops["batch_write"]
+        # Identical bill per item...
+        assert bat_rec.write_units == pytest.approx(seq_rec.write_units)
+        assert bat_rec.bytes_written == seq_rec.bytes_written
+        assert bat_rec.items == seq_rec.items == len(sizes)
+        # ...but one round trip instead of four.
+        assert bat_rec.count == 1
+        assert seq_rec.count == len(sizes)
+
+    def test_parity_holds_through_the_sharded_merge(self):
+        """Same parity when the writes fan out across shards and the
+        numbers are read back through the merged facade view."""
+        rows = [{"Key": f"k{i}", "V": "x" * (200 + 700 * i)}
+                for i in range(12)]
+        sequential = make_sharded(3)
+        for row in rows:
+            sequential.put("data", dict(row))
+        batched = make_sharded(3)
+        batched.batch_write("data", puts=[dict(row) for row in rows])
+        seq = sequential.metering.ops["write"]
+        bat = batched.metering.ops["batch_write"]
+        assert bat.write_units == pytest.approx(seq.write_units)
+        assert bat.bytes_written == seq.bytes_written
+        assert bat.items == seq.items == len(rows)
+        # One batched round trip per shard the rows land on.
+        shards = {sequential.shard_for("data", row["Key"])
+                  for row in rows}
+        assert bat.count == len(shards) < seq.count

@@ -1,0 +1,84 @@
+"""Unit tests for ``repro.obs.metrics``: fixed buckets, stable snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = Gauge()
+        assert g.value == 0.0
+        g.set(3.5)
+        g.set(-1.0)
+        assert g.value == -1.0
+
+    def test_histogram_buckets_are_fixed_upper_bounds(self):
+        h = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 1.5, 50.0, 1000.0):
+            h.observe(value)
+        snap = h.snapshot()
+        # <=1, <=10, <=100, overflow — boundary values land in-bucket.
+        assert snap["buckets"] == [[1.0, 2], [10.0, 1], [100.0, 1],
+                                   [None, 1]]
+        assert snap["count"] == 5
+        assert snap["min"] == 0.5
+        assert snap["max"] == 1000.0
+        assert snap["sum"] == pytest.approx(1053.0)
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram(bounds=(1.0,)).snapshot()
+        assert snap == {"buckets": [[1.0, 0], [None, 0]], "count": 0,
+                        "max": None, "min": None, "sum": 0.0}
+
+    def test_default_bounds_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_metrics_are_name_addressed_and_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_convenience_forms(self):
+        reg = MetricsRegistry()
+        reg.inc("done")
+        reg.inc("done", 2)
+        reg.set_gauge("depth", 7.0)
+        reg.observe("lat", 3.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"done": 3}
+        assert snap["gauges"] == {"depth": 7.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_snapshot_is_name_sorted_and_json_stable(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.inc(name)
+            reg.observe(name, 1.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["alpha", "mid", "zeta"]
+        assert list(snap["histograms"]) == ["alpha", "mid", "zeta"]
+        # Two registries fed the same data export byte-identically.
+        other = MetricsRegistry()
+        for name in ("mid", "zeta", "alpha"):  # different order
+            other.inc(name)
+            other.observe(name, 1.0)
+        assert (json.dumps(snap, sort_keys=True)
+                == json.dumps(other.snapshot(), sort_keys=True))

@@ -1,0 +1,145 @@
+"""Acceptance: the pinned-seed concurrent DST run, traced end to end.
+
+Runs the three-request concurrent mix (``tests/core/dst.py``) with
+``observability=True`` and pins the PR's acceptance bar:
+
+- the exported Chrome trace is schema-valid (``validate_chrome_trace``);
+- spans nest request → step/op → store round trip;
+- every metered store round trip has exactly one span — op for op,
+  including every logged write;
+- two runs with the same seed and schedule export byte-identical
+  traces, JSONL and metric snapshots;
+- with the flag off nothing is built and the run's outcome is
+  bit-for-bit identical to the traced one.
+
+When ``$OBS_TRACE_FILE`` is set the schema test also writes the Chrome
+trace there — the CI ``obs-smoke`` job uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]
+                       / "core"))
+import dst  # noqa: E402
+
+from repro.obs.tracer import validate_chrome_trace  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One crash-free pinned-seed run of the concurrent mix, traced."""
+    return dst.run_one(dst.LIGHT_FLAGS)
+
+
+def test_exported_trace_is_schema_valid(traced):
+    obs = traced.travel.obs
+    assert obs is not None
+    assert traced.movie.obs is obs  # runtimes sharing a store share obs
+    trace = obs.tracer.to_chrome()
+    assert len(trace["traceEvents"]) > 100
+    problems = validate_chrome_trace(trace)
+    assert problems == [], problems[:10]
+    artifact = os.environ.get("OBS_TRACE_FILE")
+    if artifact:
+        with open(artifact, "w") as fh:
+            json.dump(trace, fh, indent=2, sort_keys=True)
+
+
+def test_spans_nest_request_step_op_store(traced):
+    records = traced.travel.obs.tracer.records
+    cats_by_id: dict = {}
+    for record in records:
+        cats_by_id.setdefault(record["span_id"], set()).add(record["cat"])
+
+    def parent_cats(record):
+        return cats_by_id.get(record["parent_id"], set())
+
+    # Store round trips hang off DAAL op spans...
+    store_edges = {record["name"] for record in records
+                   if record["cat"] == "store"
+                   and "op" in parent_cats(record)}
+    assert "store.cond_write" in store_edges  # the logged write path
+    assert "store.query" in store_edges       # the chain traversal
+    # ...op spans hang off request spans...
+    assert any(record["cat"] == "op" and "request" in parent_cats(record)
+               for record in records)
+    # ...and invoke steps hang off requests, with their callee's request
+    # span hanging off the step in turn.
+    steps = [record for record in records if record["cat"] == "step"]
+    assert any("request" in parent_cats(record) for record in steps)
+    step_ids = {record["span_id"] for record in steps}
+    assert any(record["cat"] == "request"
+               and record["parent_id"] in step_ids
+               for record in records)
+    # Transactions appear as their own layer under the request.
+    assert any(record["cat"] == "txn" and record["name"].startswith(
+        "txn.finish") for record in records)
+    assert any(record["cat"] == "gc" for record in records)
+
+
+def test_every_store_round_trip_has_exactly_one_span(traced):
+    """Span/metering parity, op by op — in particular every logged
+    store write (cond_write on the DAAL) has exactly one span."""
+    metering = traced.travel.store.metering
+    records = traced.travel.obs.tracer.records
+    span_counts: dict = {}
+    for record in records:
+        if record["cat"] == "store":
+            span_counts[record["name"]] = span_counts.get(
+                record["name"], 0) + 1
+    assert metering.ops, "metered run expected"
+    for op, rec in sorted(metering.ops.items()):
+        assert span_counts.get(f"store.{op}", 0) == rec.count, op
+    # No store span without a metered op behind it either.
+    metered = {f"store.{op}" for op in metering.ops}
+    assert set(span_counts) == metered
+
+
+def test_same_seed_runs_export_byte_identically(traced):
+    second = dst.run_one(dst.LIGHT_FLAGS)
+    first_obs, second_obs = traced.travel.obs, second.travel.obs
+    assert first_obs.tracer.chrome_json() == second_obs.tracer.chrome_json()
+    assert first_obs.tracer.to_jsonl() == second_obs.tracer.to_jsonl()
+    assert (json.dumps(first_obs.snapshot(traced.travel), sort_keys=True)
+            == json.dumps(second_obs.snapshot(second.travel),
+                          sort_keys=True))
+
+
+def test_flag_off_is_bit_for_bit_identical(traced):
+    flags = dict(dst.LIGHT_FLAGS, observability=False)
+    dark = dst.run_one(flags)
+    assert dark.travel.obs is None
+    assert dark.movie.obs is None
+    assert getattr(dark.travel.store, "obs", None) is None
+    assert dark.kernel.tracer is None
+    # Same results, same virtual end time, same bill, same final rows.
+    assert dark.results == traced.results
+    assert dark.kernel.now == traced.kernel.now
+    assert (dark.travel.store.metering.dollar_cost()
+            == traced.travel.store.metering.dollar_cost())
+    assert dst.final_state(dark) == dst.final_state(traced)
+
+
+def test_unified_snapshot_sections(traced):
+    snap = traced.travel.obs.snapshot(traced.travel)
+    # Registry sections are always present.
+    assert {"counters", "gauges", "histograms"} <= set(snap)
+    # The concurrent mix commits transactions and runs GC passes.
+    assert snap["counters"].get("txn.commit", 0) > 0
+    assert snap["counters"].get("txn.locks_acquired", 0) > 0
+    assert any(name.startswith("gc.") for name in snap["counters"])
+    # Native stats are folded in behind the same API.
+    assert snap["metering"]["totals"]["requests"] > 0
+    assert snap["metering"]["totals"]["dollars"] > 0
+    assert len(snap["metering"]["per_shard"]) == 2  # LIGHT_FLAGS shards
+    assert snap["tail_cache"]["tail_hits"] >= 0
+    assert snap["elasticity"]["checks"] >= 0
+    # And the whole snapshot is JSON-clean.
+    json.dumps(snap, sort_keys=True, allow_nan=False)

@@ -1,0 +1,90 @@
+"""Open-loop RPS-sweep gate: >= 10^5 requests, knee identified.
+
+Runs the full latency-vs-offered-RPS sweep of
+``repro.bench.fig_open_loop`` at the sharded/replicated/elastic
+topology and gates the properties every later scale claim builds on:
+
+- the sweep offers at least 10^5 simulated requests in one run (the
+  ROADMAP's open-loop scale step — only possible post kernel speed
+  pass);
+- a saturation knee is *identified*, not extrapolated: some swept rate
+  is cleanly unsaturated and some later rate is cleanly saturated;
+- below the knee the system keeps up (goodput ~ offered, nothing shed);
+- past the knee the admission window sheds instead of collapsing:
+  goodput stays within a band of its peak even at 10x the knee rate,
+  and everything still completes error-free;
+- $/op stays flat-ish across the curve (backpressure must not silently
+  inflate the bill of the work that *is* served).
+
+``OPEN_LOOP_RATES`` / ``OPEN_LOOP_DURATION_MS`` shrink the sweep for
+CI smoke jobs; size-dependent gates relax automatically there.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit, emit_json
+
+from repro.bench.fig_open_loop import RATES, run_sweep, sweep_table
+
+_ENV_RATES = os.environ.get("OPEN_LOOP_RATES")
+_ENV_DURATION = os.environ.get("OPEN_LOOP_DURATION_MS")
+SMOKE = bool(_ENV_RATES or _ENV_DURATION)
+
+
+def test_open_loop_sweep():
+    rates = (tuple(float(r) for r in _ENV_RATES.split(","))
+             if _ENV_RATES else RATES)
+    duration_ms = float(_ENV_DURATION) if _ENV_DURATION else 25_000.0
+    sweep = run_sweep(rates=rates, duration_ms=duration_ms)
+    emit("open_loop", sweep_table(sweep))
+    emit_json("open_loop", **sweep)
+
+    points = sweep["points"]
+    knee = sweep["knee"]
+
+    # Scale: the full sweep pushes >= 10^5 simulated requests.
+    if not SMOKE:
+        assert sweep["total_arrivals"] >= 100_000, (
+            f"sweep offered only {sweep['total_arrivals']} requests")
+
+    # The knee is bracketed inside the sweep: at least one rate held and
+    # at least one later rate saturated.
+    assert knee["knee_rps"] is not None, "no unsaturated point in sweep"
+    assert knee["saturated_at"] is not None, (
+        "sweep never saturated — extend the rate range")
+    assert knee["knee_rps"] < knee["saturated_at"]
+
+    by_rate = {p["offered_rps"]: p for p in points}
+    at_knee = by_rate[knee["knee_rps"]]
+    baseline = points[0]
+
+    # Below the knee: the system keeps up with the offered load
+    # (measured against realized arrivals, so Poisson count noise in
+    # short smoke sweeps cannot flake the gate).
+    assert at_knee["completed"] >= 0.95 * at_knee["offered"]
+    assert baseline["shed"] == 0 and baseline["errors"] == 0
+
+    # Every point completed its served work error-free: overload shows
+    # up as shedding (accounted), never as crashes or timeouts.
+    for point in points:
+        assert point["errors"] == 0, f"errors at {point['offered_rps']} RPS"
+
+    # Past the knee the admission window actually worked: the top rate
+    # shed traffic rather than queueing without bound, and goodput did
+    # not collapse (>= 70% of the best observed goodput).
+    top = points[-1]
+    if top["offered_rps"] > (knee["saturated_at"] or 0):
+        assert top["shed"] > 0, "saturated point shed nothing"
+        best = max(p["goodput_rps"] for p in points)
+        assert top["goodput_rps"] >= 0.7 * best, (
+            f"goodput collapsed past the knee: {top['goodput_rps']} "
+            f"vs best {best}")
+
+    # Cost discipline: serving under overload must not inflate $/op of
+    # the requests actually served by more than 25%.
+    base_cost = baseline["dollars_per_op"]
+    for point in points:
+        assert point["dollars_per_op"] <= 1.25 * base_cost, (
+            f"$/op inflated at {point['offered_rps']} RPS")

@@ -56,13 +56,20 @@ from repro.kvstore.expressions import Condition, UpdateAction, path
 _MAX_CHAIN_STEPS = 10_000  # defensive bound; chains are GC-kept short
 
 
+# Expression objects are immutable at apply time (``apply`` mutates the
+# item, never the action), so the two constant actions of every logged
+# write are built once instead of per operation.
+_LOG_SIZE_BUMP = Set("LogSize", Plus(IfNotExists(path("LogSize"), Value(0)),
+                                     Value(1)))
+_VERSION_BUMP = daal.bump_version()
+
+
 def _log_write_updates(log_key: str, outcome: Any) -> list[UpdateAction]:
     """SET actions that append one entry to a row's write log."""
     return [
-        Set("LogSize", Plus(IfNotExists(path("LogSize"), Value(0)),
-                            Value(1))),
+        _LOG_SIZE_BUMP,
         Set(path("RecentWrites", log_key), outcome),
-        daal.bump_version(),
+        _VERSION_BUMP,
     ]
 
 
@@ -296,14 +303,16 @@ def write_op(ctx, table: str, key: Any, value: Any,
             return  # case A
         row_id = payload
         capacity = ctx.config.row_log_capacity
+        case_b = daal.case_b_condition(log_key, capacity)
+        success_updates = [Set("Value", value),
+                           *_log_write_updates(log_key, True)]
         for _ in range(_MAX_CHAIN_STEPS):
             ctx.crash_point(f"write:{step}:try:{row_id}")
             try:
                 store.update(
                     table, (key, row_id),
-                    [Set("Value", value),
-                     *_log_write_updates(log_key, True)],
-                    condition=daal.case_b_condition(log_key, capacity))
+                    success_updates,
+                    condition=case_b)
                 if cache is not None:
                     cache.note_logged_write(table, key, row_id, log_key)
                 ctx.crash_point(f"write:{step}:done")
@@ -372,15 +381,17 @@ def cond_write_op(ctx, table: str, key: Any,
         if set_value:
             success_updates.append(Set("Value", value))
         success_updates.extend(extra_updates)
+        case_b = daal.case_b_condition(log_key, capacity)
+        success_condition = And(condition, case_b)
+        success_updates.extend(_log_write_updates(log_key, True))
+        failure_updates = _log_write_updates(log_key, False)
         for _ in range(_MAX_CHAIN_STEPS):
             ctx.crash_point(f"condwrite:{step}:try:{row_id}")
-            case_b = daal.case_b_condition(log_key, capacity)
             try:
                 store.update(
                     table, (key, row_id),
-                    [*success_updates,
-                     *_log_write_updates(log_key, True)],
-                    condition=And(condition, case_b))
+                    success_updates,
+                    condition=success_condition)
                 if cache is not None:
                     cache.note_logged_write(table, key, row_id, log_key)
                 ctx.crash_point(f"condwrite:{step}:done")
@@ -393,7 +404,7 @@ def cond_write_op(ctx, table: str, key: Any,
             try:
                 store.update(
                     table, (key, row_id),
-                    _log_write_updates(log_key, False),
+                    failure_updates,
                     condition=case_b)
                 if cache is not None:
                     cache.note_logged_write(table, key, row_id, log_key)

@@ -63,7 +63,7 @@ from typing import Any, Optional
 from repro.core.logkeys import instance_of as _instance_of
 
 
-@dataclass
+@dataclass(slots=True)
 class TailEntry:
     """One remembered tail: the row id and the last-seen log size.
 
@@ -78,7 +78,7 @@ class TailEntry:
     log_size: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TailCacheStats:
     """Observability counters (ablation benchmarks report these)."""
 

@@ -87,6 +87,22 @@ class Tracer:
             self._local.stack = stack
         return stack
 
+    def _detach_stack(self) -> Optional[list]:
+        """Detach this thread's span stack (kernel callback isolation).
+
+        The sim kernel's baton-passing dispatch runs ``call_later``
+        callbacks on whichever worker thread blocked last; detaching the
+        stack around the callback keeps those events parentless — exactly
+        what they were when the driver thread (with its empty stack) ran
+        them. Returns the previous stack for :meth:`_restore_stack`.
+        """
+        stack = getattr(self._local, "stack", None)
+        self._local.stack = []
+        return stack
+
+    def _restore_stack(self, stack: Optional[list]) -> None:
+        self._local.stack = [] if stack is None else stack
+
     # -- recording -------------------------------------------------------------
     def span(self, name: str, cat: str = "op",
              span_id: Optional[str] = None,

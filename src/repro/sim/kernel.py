@@ -2,26 +2,55 @@
 
 Design
 ------
-The kernel owns a priority queue of ``(time, seq, wakeup)`` entries and a
-virtual clock. Simulated processes are plain Python callables that run on
-pooled OS threads, but only one process executes at a time: whenever a
-process blocks (``sleep``, ``wait``), it hands control back to the kernel
-loop, which pops the next scheduled wakeup and resumes exactly one process.
+The kernel owns a priority queue of timestamped entries and a virtual
+clock. Simulated processes are plain Python callables that run on pooled
+OS threads, but only one process executes at a time: whenever a process
+blocks (``sleep``, ``wait``), its own thread runs the dispatch step — pop
+the next scheduled entry and resume exactly one process — and then parks
+until its own wakeup fires. The driver thread (``run``) only starts the
+chain and collects it when the queue drains; it is not woken per event.
+
+This *baton-passing* dispatch halves the OS context switches of the
+classic driver-loop design (resume + yield-back per event becomes a
+single handoff), and a process waking *itself* (the ``sleep`` fast path,
+by far the most common event) costs no thread switch at all: the
+dispatching thread releases its own semaphore and keeps running. The
+event ordering is identical by construction — the same pops happen in
+the same order, just on whichever thread blocked last.
 
 Because every blocking point goes through the kernel, arbitrary user code
-(Beldi SSF handlers, garbage collectors, load generators) runs unmodified in
-virtual time, and the execution is fully deterministic for a given seed and
-spawn order.
+(Beldi SSF handlers, garbage collectors, load generators) runs unmodified
+in virtual time, and the execution is fully deterministic for a given
+seed and spawn order.
+
+Queue entries
+-------------
+Every entry is a tuple ``(time, phase, seq, label, proc, token, reason)``:
+
+- a **wakeup** carries its target ``proc`` and the wake ``token`` captured
+  when it was scheduled; a stale token (the process was resumed by
+  something else first) makes the entry a no-op;
+- a **start** is a wakeup whose token is the ``_START`` sentinel — it
+  assigns the process a pooled worker thread and releases it;
+- an **inline callback** has ``proc=None`` and its callable in the token
+  slot (``call_later``); it runs on the dispatching thread with
+  ``current_process`` masked to ``None`` and the tracer's span stack
+  detached, so callbacks observe exactly what they observed when the
+  driver thread ran them.
+
+Labels are either strings or tuples of strings joined with ``":"`` only
+when something actually reads them (trace capture, schedule choice) —
+the common case never pays the formatting.
 
 Schedules
 ---------
-Every queue entry carries a human-readable label. When a pluggable
-schedule (see :mod:`repro.sim.schedule`) is installed, the kernel gathers
-all entries that share the earliest ``(time, phase)`` and lets the
-schedule pick which fires next; each multi-candidate decision is appended
-to :attr:`SimKernel.schedule_trace`, so any execution can be replayed
-bit-for-bit from ``(seed, trace)``. Without a schedule the kernel pops the
-heap directly — byte-identical to the historical FIFO behaviour.
+When a pluggable schedule (see :mod:`repro.sim.schedule`) is installed,
+the kernel gathers all entries that share the earliest ``(time, phase)``
+and lets the schedule pick which fires next; each multi-candidate
+decision is appended to :attr:`SimKernel.schedule_trace`, so any
+execution can be replayed bit-for-bit from ``(seed, trace)``. Without a
+schedule the kernel pops the heap directly — byte-identical to the
+historical FIFO behaviour.
 
 Tie-breaking: ``wait(timeout=...)`` deadlines are queued at phase 1 while
 all normal wakeups use phase 0, so an event ``set()`` landing at exactly
@@ -61,12 +90,28 @@ class ProcessCrashed(ProcessKilled):
     """A kill that models a crash-fault (injected by a crash policy)."""
 
 
+#: Token sentinel marking a start entry (never equals a live wake token).
+_START = -1
+
+#: Shared wake-reason for sleeps — the reason is only ever read, so every
+#: sleep can hand out the same tuple instead of allocating one per call.
+_SLEEP_REASON = ("sleep", None)
+_KILL_REASON = ("killed", None)
+
+
+def _label_text(label: Any) -> str:
+    """Render a queue-entry label (str, or tuple of parts joined lazily)."""
+    return label if label.__class__ is str else ":".join(label)
+
+
 class SimEvent:
     """A one-shot signalling primitive in virtual time.
 
     Processes block on :meth:`SimKernel.wait`; ``set`` wakes every waiter at
     the current virtual time. A value may be attached to the event.
     """
+
+    __slots__ = ("_kernel", "name", "is_set", "value", "_waiters")
 
     def __init__(self, kernel: "SimKernel", name: str = "") -> None:
         self._kernel = kernel
@@ -82,12 +127,15 @@ class SimEvent:
         self.is_set = True
         self.value = value
         waiters, self._waiters = self._waiters, []
+        if not waiters:
+            return
+        event_name = self.name or "anon"
+        reason = ("event", self)
         for proc in waiters:
             if proc.finished:
                 continue
-            self._kernel._schedule(
-                0.0, proc._make_wakeup(("event", self)),
-                label=f"{proc.name}:event:{self.name or 'anon'}")
+            self._kernel._schedule_wakeup(
+                0.0, proc, reason, (proc.name, "event", event_name))
 
     def _add_waiter(self, proc: "Process") -> None:
         self._waiters.append(proc)
@@ -115,7 +163,10 @@ class Process:
         callers inspect it or use :meth:`SimKernel.join`).
     """
 
-    _RUNNING_SENTINEL = object()
+    __slots__ = ("_kernel", "name", "_body", "result", "error", "finished",
+                 "killed", "_kill_exc", "done_event", "_resume",
+                 "_wake_token", "_wake_reason", "_started", "_waiting_on",
+                 "_label_sleep", "_label_kill")
 
     def __init__(self, kernel: "SimKernel", name: str,
                  body: Callable[[], Any]) -> None:
@@ -139,33 +190,13 @@ class Process:
         # Cleared on resume so kill/exit paths can discard the waiter
         # registration instead of leaking it (and ghosting in repr).
         self._waiting_on: Optional[SimEvent] = None
-
-    # -- wakeup plumbing ---------------------------------------------------
-    def _make_wakeup(self, reason: Any) -> Callable[[], bool]:
-        """Create a wakeup closure bound to the current wake token.
-
-        Returns a callable the kernel fires; it returns True when the
-        process was actually resumed (the token was still live).
-        """
-        token = self._wake_token
-
-        def fire() -> bool:
-            if self.finished or not self._started:
-                # A kill may be scheduled before the process starts; the
-                # killed flag is already set and will be observed at start.
-                return False
-            if token != self._wake_token:
-                return False
-            self._wake_token += 1
-            self._wake_reason = reason
-            self._resume.release()
-            return True
-
-        return fire
+        # Hot labels, prebuilt once (joined lazily, and only if captured).
+        self._label_sleep = (name, "sleep")
+        self._label_kill = (name, "kill")
 
     def _block(self) -> Any:
-        """Yield to the kernel; return the reason we were woken."""
-        self._kernel._yielded.release()
+        """Hand the baton to the kernel; return the reason we were woken."""
+        self._kernel._dispatch()
         self._resume.acquire()
         if self.killed and self._kill_exc is not None:
             exc, self._kill_exc = self._kill_exc, None
@@ -190,8 +221,8 @@ class Process:
         # If the process is blocked, schedule an immediate wakeup so the
         # kill is delivered promptly; a stale token means it is currently
         # running and will observe the flag at its next block.
-        self._kernel._schedule(0.0, self._make_wakeup(("killed", None)),
-                               label=f"{self.name}:kill")
+        self._kernel._schedule_wakeup(0.0, self, _KILL_REASON,
+                                      self._label_kill)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "live"
@@ -251,7 +282,9 @@ class _WorkerThread:
                 waiting._discard_waiter(proc)
                 proc._waiting_on = None
             kernel._on_process_exit(proc)
-            kernel._yielded.release()
+            # The exiting process passes the baton on instead of waking
+            # the driver — the dispatch chain continues on this thread.
+            kernel._dispatch()
 
 
 class SimKernel:
@@ -283,10 +316,16 @@ class SimKernel:
         #: by an observability-enabled runtime; ``None`` costs one
         #: attribute check per event.
         self.tracer = None
-        self._queue: list[
-            tuple[float, int, int, str, Callable[[], bool]]] = []
+        self._queue: list[tuple] = []
         self._seq = itertools.count()
-        self._yielded = threading.Semaphore(0)
+        # Released exactly once per dispatch chain: when the queue drains
+        # (or ``until`` is reached), the last dispatching thread wakes the
+        # driver blocked in run().
+        self._driver = threading.Semaphore(0)
+        #: Exception raised inside a dispatch step on a worker thread,
+        #: transported to (and re-raised on) the driver thread.
+        self._dispatch_error: Optional[BaseException] = None
+        self._until: Optional[float] = None
         self._idle_workers: list[_WorkerThread] = []
         self._worker_count = 0
         self._thread_local = threading.local()
@@ -312,13 +351,22 @@ class SimKernel:
 
     # -- scheduling core ----------------------------------------------------
     def _schedule(self, delay: float, fire: Callable[[], bool],
-                  label: str = "", phase: int = 0) -> None:
+                  label: Any = "", phase: int = 0) -> None:
+        """Queue an inline callback entry (``fire`` runs on the dispatcher)."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         heapq.heappush(self._queue,
-                       (self.now + delay, phase, next(self._seq), label, fire))
+                       (self.now + delay, phase, next(self._seq), label,
+                        None, fire, None))
 
-    def _pop_next(self) -> tuple[float, int, int, str, Callable[[], bool]]:
+    def _schedule_wakeup(self, delay: float, proc: Process, reason: Any,
+                         label: Any, phase: int = 0) -> None:
+        """Queue a wakeup for ``proc`` bound to its current wake token."""
+        heapq.heappush(self._queue,
+                       (self.now + delay, phase, next(self._seq), label,
+                        proc, proc._wake_token, reason))
+
+    def _pop_next(self) -> tuple:
         """Pop the next queue entry, letting the schedule break ties.
 
         Without a schedule this is a plain heappop (FIFO at equal times).
@@ -335,7 +383,8 @@ class SimKernel:
             group.append(heapq.heappop(self._queue))
         if len(group) == 1:
             return head
-        idx = self.schedule.choose([entry[3] for entry in group])
+        idx = self.schedule.choose([_label_text(entry[3])
+                                    for entry in group])
         if not isinstance(idx, int) or not 0 <= idx < len(group):
             raise SimulationError(
                 f"schedule chose invalid index {idx!r} among "
@@ -345,6 +394,109 @@ class SimKernel:
         for entry in group:
             heapq.heappush(self._queue, entry)
         return chosen
+
+    # -- dispatch (the baton) ------------------------------------------------
+    def _dispatch(self) -> None:
+        """Run queue entries until exactly one process is resumed.
+
+        Called by whichever thread just blocked (or exited, or by the
+        driver to start the chain). Resuming a process hands the baton to
+        that process's thread — it will dispatch next when *it* blocks.
+        When the queue drains or virtual time reaches the run's ``until``
+        bound, the driver semaphore is released instead. Errors raised by
+        schedule policies or inline callbacks are stashed for the driver.
+        """
+        queue = self._queue
+        until = self._until
+        try:
+            if self.schedule is None:
+                # Hot path: plain heap order, entries fired inline.
+                pop = heapq.heappop
+                while queue:
+                    entry = queue[0]
+                    when = entry[0]
+                    if until is not None and when > until:
+                        self.now = until
+                        break
+                    pop(queue)
+                    self.now = when
+                    if self._fire_entry(entry):
+                        return
+                else:
+                    if until is not None and until > self.now:
+                        self.now = until
+            else:
+                # Exploration path: tie groups offered to the schedule.
+                while queue:
+                    if until is not None and queue[0][0] > until:
+                        self.now = until
+                        break
+                    entry = self._pop_next()
+                    self.now = entry[0]
+                    if self._fire_entry(entry):
+                        return
+                else:
+                    if until is not None and until > self.now:
+                        self.now = until
+        except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+            self._dispatch_error = exc
+        self._driver.release()
+
+    def _fire_entry(self, entry: tuple) -> bool:
+        """Fire one popped entry; True iff the baton was handed off.
+
+        Trace capture happens *before* the resumed process is released:
+        once its semaphore is up, that thread may reach its own dispatch
+        step (and its own capture) at any moment.
+        """
+        proc = entry[4]
+        if proc is not None:
+            token = entry[5]
+            if token == _START:
+                if proc.finished:
+                    return False
+                proc._started = True
+                if self.capture_trace:
+                    self.fired_trace.append((entry[0], _label_text(entry[3])))
+                if self._idle_workers:
+                    worker = self._idle_workers.pop()
+                else:
+                    worker = _WorkerThread(self, self._worker_count)
+                    self._worker_count += 1
+                worker.submit(proc)
+                proc._resume.release()
+                return True
+            if (proc.finished or not proc._started
+                    or token != proc._wake_token):
+                # Stale wakeup: resumed by something else, already done,
+                # or killed before start (flag observed at start instead).
+                return False
+            proc._wake_token += 1
+            proc._wake_reason = entry[6]
+            if self.capture_trace:
+                self.fired_trace.append((entry[0], _label_text(entry[3])))
+            proc._resume.release()
+            return True
+        # Inline callback (call_later): runs on this thread, but must see
+        # what the driver thread historically saw — no current process, no
+        # open tracer spans.
+        fired = self._run_callback(entry[5])
+        if fired and self.capture_trace:
+            self.fired_trace.append((entry[0], _label_text(entry[3])))
+        return fired
+
+    def _run_callback(self, fire: Callable[[], bool]) -> bool:
+        tl = self._thread_local
+        prev = getattr(tl, "process", None)
+        tl.process = None
+        tracer = self.tracer
+        stash = tracer._detach_stack() if tracer is not None else None
+        try:
+            return fire()
+        finally:
+            tl.process = prev
+            if tracer is not None:
+                tracer._restore_stack(stash)
 
     def _recycle_worker(self, worker: _WorkerThread) -> None:
         self._idle_workers.append(worker)
@@ -361,30 +513,20 @@ class SimKernel:
         label = name or getattr(body, "__name__", "process")
         label = f"{label}#{next(self._proc_seq)}"
 
-        def run() -> Any:
-            return body(*args, **kwargs)
+        if args or kwargs:
+            def run() -> Any:
+                return body(*args, **kwargs)
+        else:
+            run = body
 
         proc = Process(self, label, run)
         self._live_processes += 1
-        self._schedule(delay, self._make_start(proc),
-                       label=f"{label}:start")
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        heapq.heappush(self._queue,
+                       (self.now + delay, 0, next(self._seq),
+                        (label, "start"), proc, _START, None))
         return proc
-
-    def _make_start(self, proc: Process) -> Callable[[], bool]:
-        def fire() -> bool:
-            if proc.finished:
-                return False
-            proc._started = True
-            if self._idle_workers:
-                worker = self._idle_workers.pop()
-            else:
-                worker = _WorkerThread(self, self._worker_count)
-                self._worker_count += 1
-            worker.submit(proc)
-            proc._resume.release()
-            return True
-
-        return fire
 
     # -- blocking primitives (called from inside processes) ------------------
     def sleep(self, duration: float) -> None:
@@ -392,8 +534,10 @@ class SimKernel:
         proc = self._require_process()
         if duration < 0:
             raise ValueError(f"negative sleep: {duration}")
-        self._schedule(duration, proc._make_wakeup(("sleep", None)),
-                       label=f"{proc.name}:sleep")
+        heapq.heappush(self._queue,
+                       (self.now + duration, 0, next(self._seq),
+                        proc._label_sleep, proc, proc._wake_token,
+                        _SLEEP_REASON))
         proc._block()
 
     def wait(self, event: SimEvent, timeout: Optional[float] = None) -> bool:
@@ -411,9 +555,9 @@ class SimKernel:
         event._add_waiter(proc)
         proc._waiting_on = event
         if timeout is not None:
-            self._schedule(timeout, proc._make_wakeup(("timeout", event)),
-                           label=f"{proc.name}:timeout:{event.name or 'anon'}",
-                           phase=1)
+            self._schedule_wakeup(
+                timeout, proc, ("timeout", event),
+                (proc.name, "timeout", event.name or "anon"), phase=1)
         try:
             reason = proc._block()
         except BaseException:
@@ -446,7 +590,9 @@ class SimKernel:
         """Run ``fn`` inline in the kernel loop after ``delay``.
 
         The callback must not block; it may set events or kill processes
-        (used for execution-timeout watchdogs).
+        (used for execution-timeout watchdogs). It runs with
+        ``current_process`` masked to ``None``, so a callback that tries
+        to block fails loudly regardless of which thread dispatches it.
         """
 
         def fire() -> bool:
@@ -476,8 +622,8 @@ class SimKernel:
         if self.tracer is not None:
             self.tracer.event(f"interleave:{tag}", cat="schedule",
                               process=proc.name)
-        self._schedule(0.0, proc._make_wakeup(("interleave", tag)),
-                       label=f"{proc.name}:interleave:{tag}")
+        self._schedule_wakeup(0.0, proc, ("interleave", tag),
+                              (proc.name, "interleave", tag))
         proc._block()
 
     # -- driving the simulation ----------------------------------------------
@@ -492,22 +638,19 @@ class SimKernel:
         if self._running:
             raise SimulationError("kernel is already running")
         self._running = True
+        self._until = until
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] > until:
-                    self.now = until
-                    break
-                when, _phase, _seq, label, fire = self._pop_next()
-                self.now = when
-                if fire():
-                    if self.capture_trace:
-                        self.fired_trace.append((when, label))
-                    # Exactly one process resumed; wait for it to yield back.
-                    self._yielded.acquire()
-            else:
-                if until is not None and until > self.now:
-                    self.now = until
+            # Start the dispatch chain; it hops from blocking thread to
+            # blocking thread and releases the driver semaphore exactly
+            # once, when the queue drains or ``until`` is reached.
+            self._dispatch()
+            self._driver.acquire()
+            error = self._dispatch_error
+            if error is not None:
+                self._dispatch_error = None
+                raise error
         finally:
+            self._until = None
             self._running = False
         return self.now
 

@@ -123,23 +123,35 @@ class LatencyModel:
         self.scale = scale
         self._params = {name: spec.params()
                         for name, spec in self._specs.items()}
+        # Compiled draw table: one dict hit resolves everything sample()
+        # needs — (mu, sigma, per_unit, median) — instead of two lookups
+        # plus attribute chases per draw (the hottest non-kernel path).
+        self._compiled = {
+            name: (*self._params[name], spec.per_unit, spec.median)
+            for name, spec in self._specs.items()}
+        self._lognormvariate = rand.lognormvariate
 
     def spec(self, name: str) -> LatencySpec:
         return self._specs[name]
 
     def sample(self, name: str, units: float = 0.0) -> float:
         """Draw a latency for primitive ``name`` plus ``units`` of work."""
-        spec = self._specs.get(name)
-        if spec is None:
+        entry = self._compiled.get(name)
+        if entry is None:
             raise KeyError(f"unknown latency primitive: {name}")
-        if self.scale == 0.0:
+        scale = self.scale
+        if scale == 0.0:
             return 0.0
-        mu, sigma = self._params[name]
+        mu, sigma, per_unit, median = entry
         if sigma == 0.0:
-            body = spec.median
+            body = median
         else:
-            body = self._rand.lognormvariate(mu, sigma)
-        return (body + spec.per_unit * units) * self.scale
+            body = self._lognormvariate(mu, sigma)
+        # ``body + per_unit * 0.0 == body`` exactly (body > 0), so the
+        # no-units fast path is bit-identical to the full expression.
+        if units:
+            return (body + per_unit * units) * scale
+        return body * scale
 
     @classmethod
     def zero(cls) -> "LatencyModel":
@@ -174,9 +186,17 @@ class ServiceCapacity:
 
     def delay(self, now: float, service_time: float) -> float:
         """Reserve a server at ``now``; return wait + service time."""
-        earliest = heapq.heappop(self._free_at)
-        start = max(now, earliest)
-        heapq.heappush(self._free_at, start + service_time)
+        free = self._free_at
+        if len(free) == 1:
+            # Single-server fast path: no heap churn for the default
+            # per-node capacity (identical arithmetic, same result).
+            earliest = free[0]
+            start = max(now, earliest)
+            free[0] = start + service_time
+        else:
+            earliest = heapq.heappop(free)
+            start = max(now, earliest)
+            heapq.heappush(free, start + service_time)
         self.stats_waited += start - now
         self.stats_served += 1
         return (start - now) + service_time

@@ -16,6 +16,19 @@ from repro.workload.generator import (
     skewed_keys,
     zipf_weights,
 )
+from repro.workload.openloop import (
+    AdmissionStats,
+    AdmissionWindow,
+    OpenLoopConfig,
+    OpenLoopPoint,
+    OpenLoopResult,
+    bursty_arrivals,
+    find_knee,
+    merge_streams,
+    poisson_arrivals,
+    run_open_loop,
+    sweep_open_loop,
+)
 from repro.workload.recorder import LatencyRecorder
 from repro.workload.runner import (
     ClosedLoopResult,
@@ -26,15 +39,26 @@ from repro.workload.runner import (
 )
 
 __all__ = [
+    "AdmissionStats",
+    "AdmissionWindow",
     "ClosedLoopResult",
     "LatencyRecorder",
     "LoadGenerator",
     "LoadResult",
+    "OpenLoopConfig",
+    "OpenLoopPoint",
+    "OpenLoopResult",
     "SweepPoint",
     "ZipfSampler",
+    "bursty_arrivals",
+    "find_knee",
+    "merge_streams",
+    "poisson_arrivals",
     "run_closed_loop",
     "run_constant_load",
+    "run_open_loop",
     "run_sweep",
     "skewed_keys",
+    "sweep_open_loop",
     "zipf_weights",
 ]

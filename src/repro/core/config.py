@@ -114,6 +114,44 @@ class BeldiConfig:
         object is even constructed, reproducing the pre-observability
         code paths bit-for-bit. Same seed + schedule ⇒ byte-identical
         exported trace (``docs/observability.md``).
+    resilience:
+        Client-side fault recovery (``repro.resilience``,
+        ``docs/resilience.md``): every env's store facade gains bounded
+        retries with capped exponential backoff + deterministic jitter
+        for the injected-environment errors (``ThrottledError``,
+        ``UnavailableError`` — both raised before any table effect, so
+        retries are idempotent-safe), a per-endpoint circuit breaker
+        (trip → fast-fail → half-open probe), per-request deadlines,
+        and degraded reads. The retry path only activates when a fault
+        actually fires — jitter draws come from a dedicated
+        ``child("resilience")`` stream — so a fault-free run is
+        bit-for-bit identical with the flag off (golden-pinned). Off
+        reproduces the raw-propagation behavior exactly: a single
+        escaped throttle still kills the request.
+    retry_max_attempts / retry_base_backoff / retry_max_backoff /
+    retry_jitter:
+        The retry schedule: at most ``retry_max_attempts`` tries per
+        store call; attempt ``n`` backs off
+        ``retry_base_backoff * 2**(n-1)`` virtual ms capped at
+        ``retry_max_backoff``, scaled by ``1 - retry_jitter * U[0,1)``.
+    breaker_threshold / breaker_cooldown:
+        ``breaker_threshold`` consecutive ``UnavailableError``\\ s on one
+        endpoint open its breaker; while open, calls fast-fail without
+        paying a store round trip until a half-open probe succeeds
+        after ``breaker_cooldown`` virtual ms.
+    degraded_reads:
+        When a strong ``get`` of a *data* table finds its endpoint dark
+        (leader outage), serve the read at eventual consistency from a
+        live follower instead of failing. Protocol tables (intent,
+        read/invoke logs, lock sets, shadows) never degrade — the
+        DAAL's correctness reads stay strong, always.
+    request_deadline:
+        Per-request budget in virtual ms (``None`` = unlimited).
+        Measured from each invocation's start — an IC re-run gets a
+        fresh budget — and enforced at retry sleeps: a retry that would
+        overshoot raises ``DeadlineExceeded`` to the client while the
+        pending intent stays for the collector, so the abort is clean
+        and exactly-once survives.
     """
 
     row_log_capacity: int = 8
@@ -136,3 +174,12 @@ class BeldiConfig:
     elastic_max_moves: int = 8
     elastic_tolerance: float = 0.2
     observability: bool = False
+    resilience: bool = True
+    retry_max_attempts: int = 6
+    retry_base_backoff: float = 10.0
+    retry_max_backoff: float = 2_000.0
+    retry_jitter: float = 0.5
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 500.0
+    degraded_reads: bool = True
+    request_deadline: float | None = None

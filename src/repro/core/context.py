@@ -75,6 +75,16 @@ class BeldiContext:
         ``observability`` flag is off (the default)."""
         return getattr(self.runtime, "obs", None)
 
+    @property
+    def deadline(self) -> Optional[float]:
+        """This invocation's absolute virtual-time deadline, or ``None``
+        when no ``request_deadline`` budget is configured. Fresh per
+        invocation (IC re-runs get a full budget)."""
+        resilience = getattr(self.runtime, "resilience", None)
+        if resilience is None:
+            return None
+        return resilience.current_deadline()
+
     def trace(self, name: str, cat: str = "op",
               span_id: Optional[str] = None, **args: Any):
         """Open a tracer span, or a no-op scope when tracing is off."""

@@ -30,3 +30,14 @@ class NotSupported(BeldiError):
 
 class MisusedApi(BeldiError):
     """API contract violation (e.g. end_tx without begin_tx)."""
+
+
+class DeadlineExceeded(BeldiError):
+    """The request's deadline budget expired before the work finished.
+
+    Raised by the resilience layer when a retry would sleep past the
+    per-request deadline (``BeldiConfig.request_deadline``). The abort is
+    clean: the intent stays pending and the intent collector finishes the
+    instance later, so exactly-once semantics are preserved — the client
+    just stops waiting.
+    """

@@ -80,10 +80,12 @@ class BeldiRuntime:
                  read_consistency: Optional[str] = None,
                  replication_lag_scale: float = 1.0,
                  store_faults: Optional[FaultPolicy] = None,
+                 fault_timeline=None,
                  async_io: Optional[bool] = None,
                  batch_log_writes: Optional[bool] = None,
                  elastic: Optional[bool] = None,
                  observability: Optional[bool] = None,
+                 resilience: Optional[bool] = None,
                  env_prefix: str = "") -> None:
         """``shards > 1`` partitions storage across that many simulated
         store nodes behind a :class:`~repro.kvstore.ShardedStore` — each
@@ -112,6 +114,21 @@ class BeldiRuntime:
         :class:`~repro.kvstore.faults.FaultPolicy` on every store node
         and replica group (throttling, latency spikes, and — with
         ``leader_crash_probability`` — injected leader failovers).
+
+        ``fault_timeline`` installs one
+        :class:`~repro.kvstore.faults.FaultTimeline` — *scheduled*
+        nemesis faults (outage windows, partitions, gray slowness,
+        error bursts) pinned to virtual time — on every store node and
+        replica group. Orthogonal to ``store_faults``: the policy is
+        probabilistic background weather, the timeline is a scripted
+        incident.
+
+        ``resilience`` overrides :attr:`BeldiConfig.resilience`
+        (default *on*): the retry/backoff/deadline/breaker layer
+        (``repro.resilience``, ``docs/resilience.md``) wrapped around
+        every env's store facade. Fault-free it makes no draws, no
+        sleeps, and no extra store traffic, so goldens are bit-for-bit
+        identical either way.
 
         ``async_io``/``batch_log_writes`` override the corresponding
         :class:`BeldiConfig` flags (both default *on* there): overlapped
@@ -151,6 +168,8 @@ class BeldiRuntime:
             overrides["elastic"] = bool(elastic)
         if observability is not None:
             overrides["observability"] = bool(observability)
+        if resilience is not None:
+            overrides["resilience"] = bool(resilience)
         if overrides:
             # Copy before overriding: the caller may share one config
             # across runtimes, and the overrides are per-runtime.
@@ -205,6 +224,9 @@ class BeldiRuntime:
                 time_source=KernelTimeSource(self.kernel),
                 latency=latency, rand=self.rand.child("store"),
                 capacity=shard_capacity, faults=store_faults)
+        if fault_timeline is not None:
+            self._install_timeline(self.store, fault_timeline)
+        self.fault_timeline = fault_timeline
         #: Hot-shard elasticity (docs/sharding.md): a detector+migrator
         #: pair on multi-shard stores. ``None`` when the flag is off or
         #: there is nothing to balance — every elastic hook then costs
@@ -238,6 +260,30 @@ class BeldiRuntime:
             self.obs.attach_store(self.store)
             if getattr(self.kernel, "tracer", None) is None:
                 self.kernel.tracer = self.obs.tracer
+        #: Retry/backoff/deadline/breaker layer (``repro.resilience``).
+        #: ``None`` when the flag is off; otherwise one shared
+        #: :class:`~repro.resilience.ResilienceState` plus one shared
+        #: :class:`~repro.resilience.ResilientStore` facade handed to
+        #: every env this runtime creates. ``runtime.store`` stays the
+        #: *raw* store — benches, elasticity, and observability attach
+        #: beneath the wrapper.
+        self.resilience = None
+        self._resilient_store = None
+        if self.config.resilience:
+            from repro.resilience import (ResilienceState, ResilientStore,
+                                          RetryPolicy)
+            self.resilience = ResilienceState(
+                self.kernel, self.rand.child("resilience"),
+                RetryPolicy(self.config.retry_max_attempts,
+                            self.config.retry_base_backoff,
+                            self.config.retry_max_backoff,
+                            self.config.retry_jitter),
+                breaker_threshold=self.config.breaker_threshold,
+                breaker_cooldown=self.config.breaker_cooldown,
+                obs=self.obs)
+            self._resilient_store = ResilientStore(
+                self.store, self.resilience,
+                degraded_reads=self.config.degraded_reads)
         self.platform = platform or ServerlessPlatform(
             self.kernel, rand=self.rand.child("platform"),
             latency=latency, config=platform_config)
@@ -265,6 +311,19 @@ class BeldiRuntime:
     def fresh_uuid(self) -> str:
         return self._ids.uuid()
 
+    # -- nemesis timeline ------------------------------------------------------
+    @staticmethod
+    def _install_timeline(store, timeline) -> None:
+        """Install one FaultTimeline on every layer that consults it:
+        leaf nodes (outages/bursts/gray) and replica groups (partition
+        shipping stalls). Duck-typed so plain, sharded, and replicated
+        stores all work."""
+        store.timeline = timeline
+        for node in getattr(store, "nodes", ()):
+            node.timeline = timeline
+            for member in getattr(node, "nodes", ()):
+                member.timeline = timeline
+
     # -- elasticity ------------------------------------------------------------
     def _chain_moved(self, table: str, key: Any) -> None:
         """A chain migrated between shards: drop its remembered tail.
@@ -283,7 +342,10 @@ class BeldiRuntime:
         """Create a sovereignty domain (one intent/log/table set, §2.2)."""
         if name in self.envs:
             raise ValueError(f"env {name!r} already exists")
-        env = BeldiEnv(self.store, self.config, self.env_prefix + name,
+        # Envs see the resilient facade (when the flag is on); the raw
+        # store stays at ``runtime.store`` for benches and substrates.
+        env_store = self._resilient_store or self.store
+        env = BeldiEnv(env_store, self.config, self.env_prefix + name,
                        tables, storage_mode=storage_mode,
                        tail_cache=(self.tail_cache
                                    if self.config.tail_cache else None))
@@ -397,6 +459,22 @@ class BeldiRuntime:
 
     def _run_call(self, ssf: SSFDefinition,
                   platform_ctx: InvocationContext, payload: dict) -> Any:
+        if (self.resilience is None
+                or self.config.request_deadline is None):
+            return self._run_call_body(ssf, platform_ctx, payload)
+        # Per-request budget, measured from *this* invocation's start —
+        # an IC re-run gets a fresh budget, so recovery always finishes
+        # and exactly-once is never sacrificed to the deadline.
+        token = self.resilience.push_deadline(
+            self.kernel.now + self.config.request_deadline)
+        try:
+            return self._run_call_body(ssf, platform_ctx, payload)
+        finally:
+            self.resilience.pop_deadline(token)
+
+    def _run_call_body(self, ssf: SSFDefinition,
+                       platform_ctx: InvocationContext,
+                       payload: dict) -> Any:
         env = ssf.env
         instance_id = payload.get("instance_id") or platform_ctx.request_id
         is_async = bool(payload.get("async"))

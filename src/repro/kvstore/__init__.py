@@ -28,7 +28,9 @@ from repro.kvstore.errors import (
     TableNotFound,
     ThrottledError,
     TransactionCanceled,
+    UnavailableError,
 )
+from repro.kvstore.faults import FaultPolicy, FaultTimeline, FaultWindow
 from repro.kvstore.expressions import (
     Add,
     And,
@@ -100,7 +102,8 @@ __all__ = [
     "BatchWriteResult", "BeginsWith", "Between",
     "ChainMigrator",
     "ConditionFailed", "Contains", "Delete", "ElasticityController",
-    "Eq", "Ge", "Gt", "HashRing",
+    "Eq", "FaultPolicy", "FaultTimeline", "FaultWindow",
+    "Ge", "Gt", "HashRing",
     "IfNotExists",
     "In", "ItemTooLarge", "KVStore", "KVStoreError", "KernelTimeSource",
     "KeySchema", "Le", "ListAppend", "Lt", "MAX_BATCH_WRITE_ITEMS",
@@ -113,6 +116,7 @@ __all__ = [
     "SizeEq", "SizeGe", "SizeGt", "SizeLe",
     "SizeLt", "Table", "TableExists", "TableNotFound", "ThrottledError",
     "TransactDelete", "TransactPut", "TransactUpdate", "TransactionCanceled",
+    "UnavailableError",
     "Value", "batch_get_all", "batch_write_all", "item_size", "overlap",
     "path", "placement_residue", "recover_stale_migrations",
 ]

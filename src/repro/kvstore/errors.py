@@ -40,5 +40,15 @@ class ThrottledError(KVStoreError):
     """Injected throughput throttling (fault injection)."""
 
 
+class UnavailableError(KVStoreError):
+    """The endpoint is dark for a scheduled outage window (fault injection).
+
+    Raised before any table effect, so callers may retry the operation
+    verbatim. Distinct from :class:`ThrottledError`: a throttle is a
+    transient per-request rejection, an outage is a correlated window
+    during which *every* matching operation on the node fails.
+    """
+
+
 class ValidationError(KVStoreError):
     """Malformed request: bad key, bad expression, wrong types."""

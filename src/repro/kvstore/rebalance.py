@@ -88,7 +88,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.kvstore.asyncio import overlap
-from repro.kvstore.errors import ConditionFailed, ThrottledError
+from repro.kvstore.errors import (ConditionFailed, ThrottledError,
+                                  UnavailableError)
 from repro.kvstore.expressions import AttrNotExists, Eq, Set
 from repro.kvstore.item import item_size
 from repro.kvstore.metering import Metering
@@ -289,7 +290,7 @@ class ChainMigrator:
                               Set("StartedAt", now)],
                              condition=Eq("Phase", PHASE_DONE))
                 self._meter_write("migrate_meta", item_size(record))
-        except (ConditionFailed, ThrottledError):
+        except (ConditionFailed, ThrottledError, UnavailableError):
             return None
         return source
 
@@ -584,8 +585,12 @@ class ElasticityController:
         moved = 0
         try:
             moved = self._rebalance(ctx)
-        except ThrottledError:
-            pass  # a throttled move is abandoned; recovery rolls it back
+        except (ThrottledError, UnavailableError):
+            # An injected fault mid-move (throttle or scheduled outage)
+            # abandons the move; recovery rolls back the durable record.
+            # Background placement work must never kill the foreground
+            # request whose step ticked it.
+            pass
         finally:
             self._busy = False
             if moved:

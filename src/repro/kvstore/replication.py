@@ -77,7 +77,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from repro.kvstore.asyncio import overlap
-from repro.kvstore.errors import ThrottledError
+from repro.kvstore.errors import ThrottledError, UnavailableError
 from repro.kvstore.expressions import Condition, Projection
 from repro.kvstore.faults import FaultPolicy
 from repro.kvstore.metering import Metering, normalize_consistency
@@ -246,6 +246,16 @@ class ReplicaGroup:
         self.async_io = async_io
         self.nodes: list[KVStore] = [leader, *followers]
         self.leader_index = 0
+        # Roles are endpoint-static: failover swaps table *contents*
+        # into the leader endpoint, never the nodes themselves, so the
+        # labels (which scope role-targeted fault windows) never move.
+        leader.replica_role = "leader"
+        for node in followers:
+            node.replica_role = "follower"
+        #: Scheduled fault windows (:class:`FaultTimeline`); the group
+        #: consults partition windows when shipping the replication log.
+        #: Member nodes hold the same timeline for their own op checks.
+        self.timeline = None
         self.rand = rand or RandomSource(0, "replica-group")
         #: Samples ``repl.ship`` / ``repl.failover``; independent of the
         #: member nodes' latency streams so that enabling replication
@@ -406,6 +416,19 @@ class ReplicaGroup:
         follower_items = [(index, follower)
                           for index, follower in self._followers.items()
                           if index != self.leader_index]
+        # A scheduled leader↔follower partition stalls the shipping
+        # channel: records committed during the window leave the leader
+        # only once it heals, so follower lag grows unboundedly (past
+        # ``max_lag``) and converges through the ordinary pending-queue
+        # drain afterwards. Out-of-band (``immediate``) writes bypass
+        # the channel, as they bypass its latency.
+        ship_base = now
+        if (not immediate and self.timeline is not None
+                and self.timeline.windows):
+            self.timeline.observe(self.leader, now)
+            heal = self.timeline.partition_heal_time(now, self.shard_id)
+            if heal is not None:
+                ship_base = max(ship_base, heal)
 
         def ship_delay() -> float:
             if immediate or self.lag_scale == 0.0:
@@ -417,14 +440,14 @@ class ReplicaGroup:
             for index, follower in follower_items:
                 delay = ship_delay()
                 for record in records:
-                    visible = max(follower.last_visible, now + delay)
+                    visible = max(follower.last_visible, ship_base + delay)
                     follower.last_visible = visible
                     follower.pending.append((record, visible))
         else:
             for record in records:
                 for index, follower in follower_items:
                     delay = ship_delay()
-                    visible = max(follower.last_visible, now + delay)
+                    visible = max(follower.last_visible, ship_base + delay)
                     follower.last_visible = visible
                     follower.pending.append((record, visible))
         # Opportunistic catch-up: apply whatever has already shipped, so
@@ -644,6 +667,7 @@ class ReplicaGroup:
         results: list[Optional[dict]] = [None] * len(keys)
         unprocessed: list[int] = []
         served_any = False
+        follower_dark = False
         with overlap(self, enabled=self.async_io) as scope:
             for index in sorted(by_follower):
                 positions = by_follower[index]
@@ -654,6 +678,10 @@ class ReplicaGroup:
                         got = self._followers[index].node.batch_get(
                             table, [keys[i] for i in positions],
                             projection=projection, consistency=mode)
+                except UnavailableError:
+                    follower_dark = True
+                    unprocessed.extend(positions)
+                    continue
                 except ThrottledError:
                     unprocessed.extend(positions)
                     continue
@@ -665,6 +693,9 @@ class ReplicaGroup:
                         served_any = True
                         results[position] = got[offset]
         if not served_any:
+            if follower_dark:
+                raise UnavailableError(
+                    "db.batch_read unavailable on every follower")
             raise ThrottledError(
                 "db.batch_read throttled on every follower")
         return BatchGetResult(results,

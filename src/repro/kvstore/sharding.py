@@ -94,6 +94,7 @@ from repro.kvstore.errors import (
     TableExists,
     TableNotFound,
     ThrottledError,
+    UnavailableError,
 )
 from repro.kvstore.expressions import Condition, Projection, path
 from repro.kvstore.metering import Metering
@@ -707,6 +708,7 @@ class ShardedStore:
             results: list[Optional[dict]] = [None] * len(keys)
             unprocessed: list[int] = []
             served_any = False
+            shard_dark = False
             with overlap(self, enabled=self.async_io) as scope:
                 for shard in sorted(by_shard):
                     indexes = by_shard[shard]
@@ -716,6 +718,10 @@ class ShardedStore:
                                 table, [keys[i] for i in indexes],
                                 projection=projection,
                                 consistency=consistency)
+                    except UnavailableError:
+                        shard_dark = True
+                        unprocessed.extend(indexes)
+                        continue
                     except ThrottledError:
                         unprocessed.extend(indexes)
                         continue
@@ -727,6 +733,9 @@ class ShardedStore:
                             served_any = True
                             results[index] = got[position]
             if not served_any:
+                if shard_dark:
+                    raise UnavailableError(
+                        "db.batch_read unavailable on every shard")
                 raise ThrottledError(
                     "db.batch_read throttled on every shard")
             return BatchGetResult(results,
@@ -767,6 +776,7 @@ class ShardedStore:
                     self.shard_for(table, key), []).append(key)
             merged = BatchWriteResult()
             applied_any = False
+            shard_dark = False
             with overlap(self, enabled=self.async_io) as scope:
                 for shard in sorted(set(puts_by_shard)
                                     | set(deletes_by_shard)):
@@ -776,6 +786,11 @@ class ShardedStore:
                         with scope.branch():
                             result = self.nodes[shard].batch_write(
                                 table, shard_puts, shard_deletes)
+                    except UnavailableError:
+                        shard_dark = True
+                        merged.merge_from(BatchWriteResult(shard_puts,
+                                                           shard_deletes))
+                        continue
                     except ThrottledError:
                         merged.merge_from(BatchWriteResult(shard_puts,
                                                            shard_deletes))
@@ -786,6 +801,9 @@ class ShardedStore:
                         applied_any = True
                     merged.merge_from(result)
             if not applied_any:
+                if shard_dark:
+                    raise UnavailableError(
+                        "db.batch_write unavailable on every shard")
                 raise ThrottledError(
                     "db.batch_write throttled on every shard")
             return merged

@@ -22,9 +22,10 @@ from repro.kvstore.errors import (
     ThrottledError,
     TransactionCanceled,
     ConditionFailed,
+    UnavailableError,
 )
 from repro.kvstore.expressions import Condition, Projection, UpdateAction
-from repro.kvstore.faults import FaultPolicy
+from repro.kvstore.faults import FaultPolicy, FaultTimeline
 from repro.kvstore.item import item_size
 from repro.kvstore.metering import Metering
 from repro.kvstore.table import KeySchema, QueryResult, ScanResult, Table
@@ -212,6 +213,15 @@ class KVStore:
         self.rand = rand or RandomSource(0, "kvstore")
         self.faults = faults
         self.shard_id = shard_id
+        #: Scheduled fault windows (:class:`FaultTimeline`), installed by
+        #: the runtime or a test; ``None`` (the default) skips the hook
+        #: with one attribute check.
+        self.timeline: Optional[FaultTimeline] = None
+        #: ``"leader"`` / ``"follower"`` when this node serves inside a
+        #: :class:`~repro.kvstore.replication.ReplicaGroup` (set by the
+        #: group; endpoint-static across failovers). Scopes role-targeted
+        #: fault windows.
+        self.replica_role: Optional[str] = None
         # capacity=0 must reach ServiceCapacity's ValueError, not
         # silently mean "unbounded" — only None disables queueing.
         self.queue = (ServiceCapacity(capacity)
@@ -261,6 +271,27 @@ class KVStore:
                 and self.faults.should_throttle(self.rand, op,
                                                 shard=self.shard_id))
 
+    def _timeline_check(self, op: str) -> None:
+        """Apply scheduled fault windows before the operation runs.
+
+        Raises before any table effect, so every error here is safe to
+        retry verbatim. An empty timeline returns after one check.
+        """
+        timeline = self.timeline
+        if timeline is None or not timeline.windows:
+            return
+        now = self.time.now()
+        timeline.observe(self, now)
+        if timeline.outage_active(now, op, self.shard_id,
+                                  self.replica_role):
+            raise UnavailableError(
+                f"{op} unavailable (scheduled outage on "
+                f"shard {self.shard_id})")
+        rate = timeline.burst_rate(now, op, self.shard_id,
+                                   self.replica_role)
+        if rate > 0 and self.rand.random() < rate:
+            raise ThrottledError(f"{op} throttled (error burst)")
+
     def _charge(self, op: str, units: float = 0.0) -> None:
         """Pay the virtual-time cost of one (admitted) operation.
 
@@ -273,6 +304,9 @@ class KVStore:
         if self.faults is not None:
             multiplier = self.faults.latency_multiplier(
                 self.rand, op, shard=self.shard_id)
+        if self.timeline is not None and self.timeline.windows:
+            multiplier *= self.timeline.latency_multiplier(
+                self.time.now(), op, self.shard_id, self.replica_role)
         service = self.latency.sample(op, units=units) * multiplier
         if self.queue is not None and service > 0:
             service = self.queue.delay(
@@ -294,6 +328,7 @@ class KVStore:
                 **args)
 
     def _pay(self, op: str, units: float = 0.0) -> None:
+        self._timeline_check(op)
         if self._throttled(op):
             raise ThrottledError(f"{op} throttled")
         self._charge(op, units=units)
@@ -344,6 +379,7 @@ class KVStore:
             return BatchGetResult()
         tbl = self.table(table)
         start = self.time.now()
+        self._timeline_check("db.batch_read")
         served = len(keys)
         if self._throttled("db.batch_read"):
             served = self.rand.randint(0, len(keys) - 1)
@@ -405,6 +441,7 @@ class KVStore:
                     "one request")
             touched.add(token)
         start = self.time.now()
+        self._timeline_check("db.batch_write")
         served = total
         if self._throttled("db.batch_write"):
             served = self.rand.randint(0, total - 1)

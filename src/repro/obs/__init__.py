@@ -86,6 +86,9 @@ class Observability:
             snap["replication"]["lag"] = {
                 str(shard): {str(f): lag for f, lag in sorted(lags.items())}
                 for shard, lags in sorted(store.replication_lag().items())}
+        resilience = getattr(runtime, "resilience", None)
+        if resilience is not None:
+            snap["resilience"] = resilience.snapshot()
         elasticity = getattr(runtime, "elasticity", None)
         if elasticity is not None:
             stats = elasticity.migrator.stats

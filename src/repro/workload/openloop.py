@@ -273,7 +273,10 @@ class OpenLoopResult:
     @property
     def errors(self) -> int:
         return (self.recorder.total("crashed")
-                + self.recorder.total("timeout"))
+                + self.recorder.total("timeout")
+                + sum(count for outcome, count
+                      in self.recorder.outcomes.items()
+                      if outcome.startswith("error:")))
 
     def row(self) -> dict:
         has = bool(self.recorder.samples)
@@ -332,7 +335,7 @@ def run_open_loop(runtime: Any, entry: str,
     def client(at: float, payload: Any, recorded: bool) -> None:
         if not window.try_enter():
             if recorded:
-                recorder.record_failure("shed")
+                recorder.record_failure("shed", at=at - warmup)
             return
         try:
             runtime.client_call(entry, payload)
@@ -342,13 +345,23 @@ def run_open_loop(runtime: Any, entry: str,
                 recorder.record(at - warmup, kernel.now - base - warmup)
         except TooManyRequests:
             if recorded:
-                recorder.record_failure("rejected")
+                recorder.record_failure("rejected", at=at - warmup)
         except FunctionCrashed:
             if recorded:
-                recorder.record_failure("crashed")
+                recorder.record_failure("crashed", at=at - warmup)
         except FunctionTimeout:
             if recorded:
-                recorder.record_failure("timeout")
+                recorder.record_failure("timeout", at=at - warmup)
+        except Exception as exc:
+            # Injected-environment errors (outage, throttle burst,
+            # deadline abort) surface raw when the resilience budget is
+            # exhausted — or immediately with the layer off. An open
+            # loop must keep offering load through an incident, so any
+            # failure becomes a labeled outcome instead of killing the
+            # client process.
+            if recorded:
+                recorder.record_failure(
+                    f"error:{type(exc).__name__}", at=at - warmup)
         finally:
             window.leave()
 

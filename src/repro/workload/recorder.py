@@ -14,10 +14,17 @@ class LatencyRecorder:
         self.outcomes: dict[str, int] = {}
         self.bucket_width = bucket_width
         self._buckets: dict[int, list[float]] = {}
+        #: Timestamped event log: ``(start, outcome, latency-or-None)``.
+        #: Completions always land here; failures only when the caller
+        #: passes their arrival time — phase-sliced analyses (goodput
+        #: during/after a fault window) need to attribute every request
+        #: to the phase it *arrived* in.
+        self.events: list[tuple[float, str, Optional[float]]] = []
 
     def record(self, start: float, end: float, outcome: str = "ok") -> None:
         latency = end - start
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        self.events.append((start, outcome, latency))
         if outcome != "ok":
             return
         self.samples.append(latency)
@@ -25,8 +32,24 @@ class LatencyRecorder:
             self._buckets.setdefault(
                 int(start // self.bucket_width), []).append(latency)
 
-    def record_failure(self, outcome: str) -> None:
+    def record_failure(self, outcome: str,
+                       at: Optional[float] = None) -> None:
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if at is not None:
+            self.events.append((at, outcome, None))
+
+    def window(self, start: float, end: float) -> "LatencyRecorder":
+        """A sub-recorder of the events whose *arrival* fell in
+        ``[start, end)`` — phase-sliced percentiles and outcome counts.
+        Only timestamped events contribute (see :attr:`events`)."""
+        out = LatencyRecorder()
+        for at, outcome, latency in self.events:
+            if start <= at < end:
+                if latency is None:
+                    out.record_failure(outcome, at=at)
+                else:
+                    out.record(at, at + latency, outcome)
+        return out
 
     # -- aggregate statistics ------------------------------------------------
     @property

@@ -36,6 +36,8 @@ from repro.apps.travel import TravelReservationApp
 from repro.core import BeldiConfig, BeldiRuntime
 from repro.core import daal, intents
 from repro.core.gc import make_garbage_collector
+from repro.core.errors import DeadlineExceeded
+from repro.kvstore.errors import ThrottledError, UnavailableError
 from repro.kvstore.faults import FaultPolicy
 from repro.platform import CrashPolicy, PrefixedPolicy
 from repro.platform.errors import FunctionCrashed, TooManyRequests
@@ -149,6 +151,9 @@ def build_harness(flags: dict, schedule=None,
     replicas = flags.pop("replicas", 1)
     leader_crash = flags.pop("leader_crash", 0.0)
     read_consistency = flags.pop("read_consistency", None)
+    # Nemesis timeline: installed once on the travel runtime's store,
+    # which the movie runtime shares — both apps ride out the incident.
+    timeline = flags.pop("timeline", None)
     kernel = SimKernel(seed=seed, schedule=schedule)
     config = BeldiConfig(ic_restart_delay=200.0, gc_t=GC_T,
                          lock_retry_backoff=5.0, lock_retry_limit=500,
@@ -180,6 +185,13 @@ def build_harness(flags: dict, schedule=None,
     movie_app = MovieReviewApp(seed=seed, n_movies=2, n_users=1)
     movie_app.register(movie)
     movie_app.seed_data(movie)
+    if timeline is not None:
+        # Installed *after* seeding (operator setup precedes the
+        # incident), so windows may start at t=0 and still let the
+        # fixtures land.
+        BeldiRuntime._install_timeline(travel.store, timeline)
+        travel.fault_timeline = timeline
+        movie.fault_timeline = timeline
     return Harness(kernel=kernel, travel=travel, movie=movie,
                    travel_app=travel_app, movie_app=movie_app)
 
@@ -199,7 +211,15 @@ def run_requests(h: Harness, requests=REQUESTS,
         try:
             results[req.name] = runtime.client_call(req.entry,
                                                     dict(req.payload))
-        except (FunctionCrashed, TooManyRequests):
+        except (FunctionCrashed, TooManyRequests, ThrottledError,
+                UnavailableError, DeadlineExceeded):
+            # Injected-environment errors surface here when the
+            # resilience layer exhausts its budget mid-incident, or
+            # raw from an overlap-scope fan-out (scope bodies are
+            # atomic in virtual time — nowhere to sleep a backoff).
+            # Either way the *client* sees a clean abort and the
+            # pending intent is the collector's to finish —
+            # check_effects still demands exactly-once.
             results[req.name] = "crashed"
 
     for runtime in h.runtimes.values():
@@ -212,10 +232,16 @@ def run_requests(h: Harness, requests=REQUESTS,
         h.kernel.run(until=elapsed)
         if len(results) < len(requests):
             continue
-        if all(not intents.pending_intents(env)
-               for runtime in h.runtimes.values()
-               for env in runtime.envs.values()):
-            break
+        try:
+            if all(not intents.pending_intents(env)
+                   for runtime in h.runtimes.values()
+                   for env in runtime.envs.values()):
+                break
+        except (ThrottledError, UnavailableError):
+            # The store is dark at this poll instant — the intents
+            # can't be inspected, so by definition they aren't done.
+            # Keep driving; the post-heal poll settles it.
+            continue
     for runtime in h.runtimes.values():
         runtime.stop_collectors()
     h.kernel.run(until=elapsed + RECOVERY_SLICE)
@@ -412,6 +438,10 @@ def _write_failure_artifact(seed: int, trace: list,
     artifact = {"seed": seed, "trace": trace,
                 "replay": format_failure(seed, trace),
                 "error": str(exc)}
+    timeline = (getattr(h.travel, "fault_timeline", None)
+                if h is not None else None)
+    if timeline is not None:
+        artifact["fault_timeline"] = timeline.describe()
     obs = getattr(h.travel, "obs", None) if h is not None else None
     if obs is not None:
         # Attach the virtual-time trace and the unified metrics snapshot

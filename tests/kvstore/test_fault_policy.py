@@ -1,0 +1,173 @@
+"""FaultPolicy scoping semantics, pinned directly on the policy + stores.
+
+Covers the interactions the DST harness relies on: ``only_ops`` ×
+``only_shards`` × ``leader_crash_probability``, and the one-draw-per-
+batch contract for ``batch_get``/``batch_write`` (a provider throttles
+the round trip, not each row).
+"""
+
+import pytest
+
+from repro.kvstore import (
+    KVStore,
+    ReplicaGroup,
+    ShardedStore,
+    ThrottledError,
+)
+from repro.kvstore.faults import FaultPolicy
+from repro.sim import LatencyModel, RandomSource
+
+
+class CountingRand:
+    """RandomSource proxy that counts draws (and forces their value)."""
+
+    def __init__(self, value=0.99):
+        self.value = value
+        self.draws = 0
+
+    def random(self):
+        self.draws += 1
+        return self.value
+
+    def randint(self, lo, hi):
+        return hi
+
+
+def make_store(shard_id=None, faults=None, rand=None):
+    s = KVStore(latency=LatencyModel(RandomSource(3, "lat")),
+                rand=rand or RandomSource(3, "store"),
+                shard_id=shard_id, faults=faults)
+    s.create_table("data", hash_key="Key")
+    return s
+
+
+class TestScoping:
+    def test_only_ops_gates_the_draw(self):
+        policy = FaultPolicy.for_ops(["db.read"], throttle_probability=1.0)
+        s = make_store(faults=policy)
+        s.put("data", {"Key": "a", "V": 1})  # writes unaffected
+        with pytest.raises(ThrottledError):
+            s.get("data", "a")
+
+    def test_only_shards_spares_siblings(self):
+        policy = FaultPolicy.for_shards([0], throttle_probability=1.0)
+        sick = make_store(shard_id=0, faults=policy)
+        healthy = make_store(shard_id=1, faults=policy)
+        with pytest.raises(ThrottledError):
+            sick.get("data", "a")
+        assert healthy.get("data", "a") is None
+
+    def test_unsharded_node_ignores_shard_scoped_policy(self):
+        policy = FaultPolicy.for_shards([0], throttle_probability=1.0)
+        s = make_store(shard_id=None, faults=policy)
+        assert s.get("data", "a") is None
+
+    def test_ops_and_shards_compose_conjunctively(self):
+        policy = FaultPolicy(throttle_probability=1.0,
+                             only_ops=frozenset(["db.write"]),
+                             only_shards=frozenset([1]))
+        assert policy.applies_to("db.write", 1)
+        assert not policy.applies_to("db.write", 0)
+        assert not policy.applies_to("db.read", 1)
+        s = make_store(shard_id=1, faults=policy)
+        assert s.get("data", "a") is None  # wrong op
+        with pytest.raises(ThrottledError):
+            s.put("data", {"Key": "a", "V": 1})
+
+    def test_no_draw_outside_scope(self):
+        """Out-of-scope operations must not consume randomness — a
+        scoped policy cannot perturb the sibling shards' streams."""
+        policy = FaultPolicy.for_shards([0], throttle_probability=0.5,
+                                        leader_crash_probability=0.5)
+        rand = CountingRand()
+        assert not policy.should_throttle(rand, "db.read", shard=1)
+        assert not policy.should_crash_leader(rand, "db.read", shard=1)
+        assert policy.latency_multiplier(rand, "db.read", shard=1) == 1.0
+        assert rand.draws == 0
+        policy.should_throttle(rand, "db.read", shard=0)
+        assert rand.draws == 1
+
+    def test_leader_crash_respects_op_and_shard_scope(self):
+        policy = FaultPolicy(leader_crash_probability=1.0,
+                             only_ops=frozenset(["db.write"]),
+                             only_shards=frozenset([0]))
+        rand = CountingRand(value=0.0)  # every in-scope draw fires
+        assert policy.should_crash_leader(rand, "db.write", shard=0)
+        assert not policy.should_crash_leader(rand, "db.write", shard=1)
+        assert not policy.should_crash_leader(rand, "db.read", shard=0)
+
+    def test_leader_crash_triggers_failover_only_in_scope(self):
+        def build(policy):
+            leader = KVStore(latency=LatencyModel(RandomSource(5, "l")),
+                             rand=RandomSource(5, "s"), shard_id=0)
+            follower = KVStore(latency=LatencyModel(RandomSource(5, "l2")),
+                               rand=RandomSource(5, "s2"), shard_id=0)
+            group = ReplicaGroup(leader, [follower],
+                                 rand=RandomSource(5, "repl"),
+                                 latency=LatencyModel(RandomSource(5, "rl")),
+                                 faults=policy)
+            group.ensure_table("data", hash_key="Key")
+            return group
+
+        in_scope = build(FaultPolicy(leader_crash_probability=1.0,
+                                     only_ops=frozenset(["db.write"])))
+        in_scope.put("data", {"Key": "a", "V": 1})
+        assert in_scope.stats.failovers >= 1
+
+        out_of_scope = build(FaultPolicy(leader_crash_probability=1.0,
+                                         only_shards=frozenset([9])))
+        out_of_scope.put("data", {"Key": "a", "V": 1})
+        assert out_of_scope.stats.failovers == 0
+
+
+class TestOneDrawPerBatch:
+    def test_batch_get_draws_once(self):
+        rand = CountingRand()  # 0.99: never throttles at p=0.5
+        s = make_store(faults=FaultPolicy(throttle_probability=0.5),
+                       rand=rand)
+        s.batch_get("data", [f"k{i}" for i in range(25)])
+        assert rand.draws == 1
+
+    def test_batch_write_draws_once(self):
+        rand = CountingRand()
+        s = make_store(faults=FaultPolicy(throttle_probability=0.5),
+                       rand=rand)
+        s.batch_write("data", puts=[{"Key": f"k{i}", "V": i}
+                                    for i in range(25)])
+        assert rand.draws == 1
+
+    def test_throttled_batch_serves_a_prefix(self):
+        """One bad draw partially serves the batch DynamoDB-style: a
+        prefix lands, the remainder comes back unprocessed — it does not
+        throttle each row independently."""
+        rand = CountingRand(value=0.0)  # the one draw throttles
+        s = make_store(faults=FaultPolicy(throttle_probability=0.5),
+                       rand=rand)
+        result = s.batch_write("data", puts=[{"Key": f"k{i}", "V": i}
+                                             for i in range(10)])
+        served = 10 - len(result.unprocessed_puts)
+        assert 0 < served < 10
+        rand.value = 0.99  # stop throttling for the verification reads
+        # served rows are a prefix, in order
+        for i in range(served):
+            assert s.get("data", f"k{i}")["V"] == i
+        for i in range(served, 10):
+            assert s.get("data", f"k{i}") is None
+
+    def test_sharded_batch_draws_once_per_shard(self):
+        """A sharded batch fans out into per-shard sub-batches; each
+        *node* consults its policy once — per-shard fault domains."""
+        rands = [CountingRand(), CountingRand()]
+        nodes = [KVStore(latency=LatencyModel(RandomSource(3, f"lat{i}")),
+                         rand=rands[i], shard_id=i,
+                         faults=FaultPolicy(throttle_probability=0.5))
+                 for i in range(2)]
+        sharded = ShardedStore(nodes)
+        sharded.ensure_table("data", hash_key="Key")
+        keys = [f"k{i}" for i in range(32)]
+        sharded.batch_get("data", keys)
+        per_shard = [len([k for k in keys
+                          if sharded.shard_for("data", k) == i])
+                     for i in range(2)]
+        assert all(n > 0 for n in per_shard)  # both shards hit
+        assert [r.draws for r in rands] == [1, 1]

@@ -1,0 +1,214 @@
+"""FaultTimeline semantics: scheduled outages, bursts, gray, partitions.
+
+The timeline is the *scheduled* half of the fault model (the policy is
+the probabilistic half): windows pinned to exact virtual times, scoped
+like policies (ops / shards / replica roles), consulted on the store hot
+path only when non-empty. Everything here runs on direct stores with a
+``NullTimeSource`` clock advanced by hand — no kernel needed.
+"""
+
+import pytest
+
+from repro.kvstore import (
+    FaultTimeline,
+    FaultWindow,
+    KVStore,
+    ReplicaGroup,
+    ThrottledError,
+    UnavailableError,
+)
+from repro.sim import LatencyModel, RandomSource
+
+
+def make_store(shard_id=None, latency_scale=0.0, bare=False):
+    s = KVStore(latency=LatencyModel(RandomSource(7, "lat"),
+                                     scale=latency_scale),
+                rand=RandomSource(7, "store"), shard_id=shard_id)
+    if not bare:
+        s.create_table("data", hash_key="Key")
+    return s
+
+
+class TestWindowSemantics:
+    def test_active_is_half_open(self):
+        w = FaultWindow("outage", 100.0, 200.0)
+        assert not w.active(99.9)
+        assert w.active(100.0)
+        assert w.active(199.9)
+        assert not w.active(200.0)
+
+    def test_scoping_ops_and_shards(self):
+        tl = FaultTimeline().outage(0, 10, shards=[1], ops=["db.write"])
+        assert tl.outage_active(5.0, "db.write", 1)
+        assert not tl.outage_active(5.0, "db.read", 1)
+        assert not tl.outage_active(5.0, "db.write", 0)
+        assert not tl.outage_active(15.0, "db.write", 1)
+
+    def test_scalar_scopes_normalize(self):
+        tl = FaultTimeline().outage(0, 10, shards=0, ops="db.read")
+        assert tl.outage_active(0.0, "db.read", 0)
+        assert not tl.outage_active(0.0, "db.read", 1)
+
+    def test_role_scoping_spares_other_role_only(self):
+        tl = FaultTimeline().outage(0, 10, role="leader")
+        assert tl.outage_active(5.0, "db.read", 0, "leader")
+        assert not tl.outage_active(5.0, "db.read", 0, "follower")
+        # A node with no role (unreplicated store) is its own leader.
+        assert tl.outage_active(5.0, "db.read", 0, None)
+
+    def test_gray_multipliers_compound(self):
+        tl = (FaultTimeline().gray(0, 100, multiplier=3.0)
+              .gray(50, 100, multiplier=2.0))
+        assert tl.latency_multiplier(10.0, "db.read") == 3.0
+        assert tl.latency_multiplier(60.0, "db.read") == 6.0
+        assert tl.latency_multiplier(100.0, "db.read") == 1.0
+
+    def test_gray_open_ended(self):
+        tl = FaultTimeline().gray(10, multiplier=4.0)
+        assert tl.latency_multiplier(1e12, "db.read") == 4.0
+
+    def test_burst_rate_is_max_of_active(self):
+        tl = (FaultTimeline().error_burst(0, 100, rate=0.3)
+              .error_burst(0, 50, rate=0.9))
+        assert tl.burst_rate(10.0, "db.read") == 0.9
+        assert tl.burst_rate(70.0, "db.read") == 0.3
+
+    def test_partition_heal_time(self):
+        tl = (FaultTimeline().partition(0, 100, shards=[0])
+              .partition(50, 300, shards=[0]))
+        assert tl.partition_heal_time(60.0, 0) == 300.0
+        assert tl.partition_heal_time(60.0, 1) is None
+        assert tl.partition_heal_time(301.0, 0) is None
+
+    def test_describe_round_trips_json(self):
+        import json
+        tl = (FaultTimeline().outage(1, 2, shards=[0])
+              .gray(3, multiplier=9.0).error_burst(4, 5, rate=0.5))
+        desc = tl.describe()
+        assert len(desc) == 3
+        json.dumps(desc)  # JSON-ready (inf encoded as a string)
+        assert desc[0]["kind"] == "outage"
+
+    def test_empty_timeline_is_falsy(self):
+        assert not FaultTimeline()
+        assert FaultTimeline().outage(0, 1)
+
+
+class TestStoreWiring:
+    def test_outage_raises_before_any_effect(self):
+        s = make_store()
+        s.timeline = FaultTimeline().outage(0, 100, ops=["db.write"])
+        with pytest.raises(UnavailableError):
+            s.put("data", {"Key": "a", "V": 1})
+        assert s.get("data", "a") is None  # nothing landed
+
+    def test_outage_heals_on_schedule(self):
+        s = make_store()
+        s.timeline = FaultTimeline().outage(0, 100)
+        with pytest.raises(UnavailableError):
+            s.get("data", "a")
+        s.time.sleep(150.0)
+        assert s.get("data", "a") is None  # served, just empty
+
+    def test_outage_scoped_to_other_shard_is_invisible(self):
+        s = make_store(shard_id=2)
+        s.timeline = FaultTimeline().outage(0, 100, shards=[0])
+        s.put("data", {"Key": "a", "V": 1})
+        assert s.get("data", "a")["V"] == 1
+
+    def test_batch_ops_respect_outage(self):
+        s = make_store()
+        s.timeline = FaultTimeline().outage(0, 100)
+        with pytest.raises(UnavailableError):
+            s.batch_get("data", ["a", "b"])
+        with pytest.raises(UnavailableError):
+            s.batch_write("data", puts=[{"Key": "a", "V": 1}])
+
+    def test_error_burst_throttles_at_full_rate(self):
+        s = make_store()
+        s.timeline = FaultTimeline().error_burst(0, 100, rate=1.0)
+        with pytest.raises(ThrottledError):
+            s.get("data", "a")
+        s.time.sleep(100.0)
+        assert s.get("data", "a") is None
+
+    def test_gray_window_multiplies_latency(self):
+        healthy = make_store(latency_scale=1.0)
+        healthy.put("data", {"Key": "a", "V": 1})
+        t0 = healthy.time.now()
+        healthy.get("data", "a")
+        base = healthy.time.now() - t0
+
+        gray = make_store(latency_scale=1.0)
+        gray.timeline = FaultTimeline().gray(0, None, multiplier=10.0)
+        gray.put("data", {"Key": "a", "V": 1})
+        t0 = gray.time.now()
+        gray.get("data", "a")
+        slowed = gray.time.now() - t0
+        # Same seeded latency draw sequence, 10x the service time.
+        assert slowed == pytest.approx(base * 10.0)
+
+    def test_empty_timeline_is_bit_identical(self):
+        plain = make_store(latency_scale=1.0)
+        timed = make_store(latency_scale=1.0)
+        timed.timeline = FaultTimeline()
+        for s in (plain, timed):
+            s.put("data", {"Key": "a", "V": 1})
+            s.get("data", "a")
+        assert plain.time.now() == timed.time.now()
+        assert (plain.metering.snapshot() == timed.metering.snapshot())
+
+
+class TestPartitions:
+    def make_group(self):
+        leader = make_store(shard_id=0, bare=True)
+        followers = [make_store(shard_id=0, bare=True)]
+        group = ReplicaGroup(leader, followers,
+                             rand=RandomSource(9, "repl"),
+                             latency=LatencyModel(RandomSource(9, "rl")))
+        group.ensure_table("data", hash_key="Key")
+        return group
+
+    def test_partition_stalls_shipping_until_heal(self):
+        group = self.make_group()
+        group.timeline = FaultTimeline().partition(0, 500, shards=[0])
+        group.put("data", {"Key": "a", "V": 1})
+        # Drain well past normal ship delay but before the heal: the
+        # follower must still be blind to the write.
+        group.leader.time.sleep(200.0)
+        for node in group.nodes:
+            node.time.sleep(200.0)
+        assert group.get("data", "a", consistency="eventual") is None
+        lag = group.replication_lag()
+        assert all(v >= 1 for v in lag.values())
+        # Past the heal the stalled records become visible.
+        group.leader.time.sleep(400.0)
+        for node in group.nodes:
+            node.time.sleep(400.0)
+        assert group.get("data", "a",
+                         consistency="eventual")["V"] == 1
+        assert all(v == 0 for v in group.replication_lag().values())
+
+    def test_leader_role_outage_spares_followers(self):
+        group = self.make_group()
+        group.put("data", {"Key": "a", "V": 1})
+        for node in group.nodes:
+            node.time.sleep(5_000.0)  # let the write ship
+        tl = FaultTimeline().outage(5_000.0, 6_000.0, role="leader")
+        for node in group.nodes:
+            node.timeline = tl
+        with pytest.raises(UnavailableError):
+            group.get("data", "a")  # strong: leader-routed
+        assert group.get("data", "a",
+                         consistency="eventual")["V"] == 1
+
+    def test_failover_converges_after_partition(self):
+        group = self.make_group()
+        group.timeline = FaultTimeline().partition(0, 500, shards=[0])
+        group.put("data", {"Key": "a", "V": 1})
+        group.put("data", {"Key": "b", "V": 2})
+        # Fail the leader mid-partition: promotion replays the pending
+        # (stalled) suffix, so no acknowledged write is lost.
+        group.fail_leader()
+        assert group.get("data", "a")["V"] == 1
+        assert group.get("data", "b")["V"] == 2

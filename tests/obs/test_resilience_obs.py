@@ -1,0 +1,125 @@
+"""Span↔metering parity for the resilience layer's observability hooks.
+
+Every retry the wrapper performs must show up *three* ways, in exact
+agreement: a ``resilience.backoff`` span in the trace, a
+``resilience.retries`` counter in the metrics registry, and the
+``ResilienceStats`` counter the snapshot exports. If any two drift the
+instrumentation is lying about what the layer did.
+"""
+
+from repro.core import BeldiConfig, BeldiRuntime
+from repro.kvstore import FaultTimeline, UnavailableError
+
+import pytest
+
+
+class ThrottleScript:
+    """Deterministic duck-typed FaultPolicy: throttle the first ``n``."""
+
+    def __init__(self, n):
+        self.remaining = n
+
+    def should_throttle(self, rand, op="", shard=None):
+        if self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+    def should_crash_leader(self, rand, op="", shard=None):
+        return False
+
+    def latency_multiplier(self, rand, op="", shard=None):
+        return 1.0
+
+
+def run_counter(runtime):
+    def handler(ctx, payload):
+        count = ctx.read("kv", "counter") or 0
+        ctx.write("kv", "counter", count + 1)
+        return count + 1
+
+    runtime.register_ssf("counter", handler, tables=["kv"])
+    return runtime.run_workflow("counter")
+
+
+def make_runtime(**kwargs):
+    return BeldiRuntime(seed=11,
+                        config=BeldiConfig(observability=True), **kwargs)
+
+
+class TestRetryParity:
+    def test_backoff_spans_match_retry_counters(self):
+        runtime = make_runtime(store_faults=ThrottleScript(n=3))
+        try:
+            run_counter(runtime)
+            stats = runtime.resilience.stats
+            assert stats.retries >= 3
+
+            spans = [r for r in runtime.obs.tracer.sorted_records()
+                     if r.get("name") == "resilience.backoff"]
+            metrics = runtime.obs.metrics.snapshot()
+            assert len(spans) == stats.retries
+            assert metrics["counters"]["resilience.retries"] == stats.retries
+            backoff_hist = metrics["histograms"]["resilience.backoff_ms"]
+            assert backoff_hist["count"] == stats.retries
+            # The spans *are* the backoff sleeps: their summed duration
+            # equals the histogram's summed observations.
+            span_total = sum(r["dur"] for r in spans)
+            assert span_total == pytest.approx(backoff_hist["sum"])
+        finally:
+            runtime.kernel.shutdown()
+
+    def test_snapshot_exports_resilience_section(self):
+        runtime = make_runtime(store_faults=ThrottleScript(n=2))
+        try:
+            run_counter(runtime)
+            snap = runtime.obs.snapshot(runtime)
+            section = snap["resilience"]
+            assert section["retries"] == runtime.resilience.stats.retries
+            assert section["throttled_errors"] >= 2
+            assert "breakers" in section
+        finally:
+            runtime.kernel.shutdown()
+
+
+class TestBreakerParity:
+    def test_breaker_gauge_and_open_counter(self):
+        config = BeldiConfig(observability=True, breaker_threshold=2,
+                             retry_max_attempts=6)
+        runtime = BeldiRuntime(seed=11, config=config)
+        timeline = FaultTimeline().outage(0.0, 1e12)
+        BeldiRuntime._install_timeline(runtime.store, timeline)
+        runtime.fault_timeline = timeline
+        try:
+            with pytest.raises(UnavailableError):
+                run_counter(runtime)
+            stats = runtime.resilience.stats
+            metrics = runtime.obs.metrics.snapshot()
+            assert metrics["counters"]["resilience.breaker_opens"] == (
+                stats.breaker_opens)
+            gauges = {name: value
+                      for name, value in metrics["gauges"].items()
+                      if name.startswith("resilience.breaker.")}
+            assert gauges and 2.0 in gauges.values()  # an open breaker
+            events = [r for r in runtime.obs.tracer.sorted_records()
+                      if str(r.get("name", "")).startswith("breaker:open")]
+            assert len(events) == stats.breaker_opens
+        finally:
+            runtime.kernel.shutdown()
+
+
+class TestFaultEdgeEvents:
+    def test_outage_edges_land_in_trace_and_metrics(self):
+        runtime = make_runtime()
+        timeline = FaultTimeline().outage(0.0, 30.0)
+        BeldiRuntime._install_timeline(runtime.store, timeline)
+        runtime.fault_timeline = timeline
+        try:
+            run_counter(runtime)
+            names = [r.get("name") for r in
+                     runtime.obs.tracer.sorted_records()]
+            assert "fault:outage:start:0" in names
+            metrics = runtime.obs.metrics.snapshot()
+            assert metrics["counters"]["resilience.fault_edges"] >= 1
+        finally:
+            runtime.kernel.shutdown()
